@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the numerical kernels underneath the
+//! MLMCMC stack: sparse mat-vec, preconditioned CG, FFT, KL tabulation
+//! and Gaussian sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uq_fem::assembly::assemble;
+use uq_fem::StructuredGrid;
+use uq_linalg::fft::{fft_in_place, Complex};
+use uq_linalg::prob::standard_normal_vec;
+use uq_linalg::solvers::{cg, IdentityPrecond, SolverOptions, SsorPrecond};
+use uq_randfield::KlField2d;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_matvec");
+    for n in [16usize, 64, 128] {
+        let grid = StructuredGrid::new(n);
+        let kappa = vec![1.0; grid.n_elements()];
+        let sys = assemble(&grid, &kappa);
+        let x = vec![1.0; grid.n_nodes()];
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            let mut y = vec![0.0; grid.n_nodes()];
+            b.iter(|| sys.matrix.matvec_into(black_box(&x), &mut y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_cg");
+    group.sample_size(20);
+    for n in [16usize, 64] {
+        let grid = StructuredGrid::new(n);
+        let kappa: Vec<f64> = (0..grid.n_elements())
+            .map(|e| 1.0 + 0.5 * ((e % 7) as f64 / 7.0))
+            .collect();
+        let sys = assemble(&grid, &kappa);
+        group.bench_with_input(BenchmarkId::new("ssor", n), &n, |b, _| {
+            let pre = SsorPrecond::new(&sys.matrix, 1.0);
+            b.iter(|| {
+                let r = cg(&sys.matrix, &sys.rhs, None, &pre, SolverOptions::default());
+                assert!(r.converged);
+                black_box(r.x)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| {
+                let r = cg(
+                    &sys.matrix,
+                    &sys.rhs,
+                    None,
+                    &IdentityPrecond,
+                    SolverOptions::default(),
+                );
+                assert!(r.converged);
+                black_box(r.x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 4096] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_in_place(&mut d, false);
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kl(c: &mut Criterion) {
+    let field = KlField2d::new(0.15, 1.0, 113);
+    let grid = StructuredGrid::new(64);
+    let centers = grid.element_centers();
+    c.bench_function("kl_tabulate_64x64_m113", |b| {
+        b.iter(|| black_box(field.tabulate(&centers)));
+    });
+    let phi = field.tabulate(&centers);
+    let mut rng = StdRng::seed_from_u64(1);
+    let theta = standard_normal_vec(&mut rng, 113);
+    c.bench_function("kl_field_eval_matvec", |b| {
+        b.iter(|| black_box(phi.matvec(&theta)));
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("standard_normal_113", |b| {
+        b.iter(|| black_box(standard_normal_vec(&mut rng, 113)));
+    });
+}
+
+criterion_group!(benches, bench_spmv, bench_cg, bench_fft, bench_kl, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benchmarks of the MCMC/MLMCMC machinery itself: kernel
+//! throughput, coupled-chain stepping, the communicator round-trip and
+//! end-to-end mini multilevel runs (sequential, parallel, DES).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uq_mcmc::kernel::{mh_step, SamplingState};
+use uq_mcmc::problem::GaussianTarget;
+use uq_mcmc::proposal::GaussianRandomWalk;
+use uq_mcmc::{Proposal, SamplingProblem};
+use uq_mlmcmc::coupled::{build_chain_stack, MlChain};
+use uq_mlmcmc::{run_sequential, LevelFactory, MlmcmcConfig};
+use uq_parallel::comm::{RankCtx, Universe};
+use uq_parallel::des::{simulate, DesConfig};
+use uq_parallel::{run_parallel, ParallelConfig, Tracer};
+
+struct Hierarchy;
+
+impl LevelFactory for Hierarchy {
+    fn n_levels(&self) -> usize {
+        3
+    }
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        let mean = [0.6, 0.9, 1.0][level];
+        Box::new(GaussianTarget::new(vec![mean; 4], 0.5))
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+        Box::new(GaussianRandomWalk::new(0.5))
+    }
+    fn subsampling_rate(&self, level: usize) -> usize {
+        [8, 5, 0][level]
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0; 4]
+    }
+}
+
+fn bench_mh_kernel(c: &mut Criterion) {
+    let mut problem = GaussianTarget::standard(8);
+    let mut proposal = GaussianRandomWalk::new(0.5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut state = SamplingState::initial(&mut problem, vec![0.0; 8]);
+    c.bench_function("mh_step_dim8", |b| {
+        b.iter(|| {
+            let (s, acc) = mh_step(&mut problem, &mut proposal, &state, &mut rng);
+            state = s;
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_coupled_step(c: &mut Criterion) {
+    let mut chain: MlChain = build_chain_stack(&Hierarchy, 2);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("coupled_stack_step_3level", |b| {
+        b.iter(|| black_box(chain.step(&mut rng)));
+    });
+}
+
+fn bench_sequential_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("sequential_3level", |b| {
+        b.iter(|| {
+            let config = MlmcmcConfig::new(vec![500, 100, 20]).with_burn_in(vec![50, 20, 5]);
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(run_sequential(&Hierarchy, &config, &mut rng))
+        });
+    });
+    group.bench_function("parallel_3level", |b| {
+        b.iter(|| {
+            let mut config = ParallelConfig::new(vec![500, 100, 20], vec![1, 1, 1]);
+            config.burn_in = vec![50, 20, 5];
+            black_box(run_parallel(&Hierarchy, &config, &Tracer::disabled()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_comm(c: &mut Criterion) {
+    c.bench_function("comm_ping_pong_1000", |b| {
+        b.iter(|| {
+            let results = Universe::run(2, |mut ctx: RankCtx<u64>| {
+                let peer = 1 - ctx.rank();
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    if ctx.rank() == 0 {
+                        ctx.send(peer, i);
+                        acc += ctx.recv().msg;
+                    } else {
+                        let v = ctx.recv().msg;
+                        ctx.send(peer, v + 1);
+                        acc += v;
+                    }
+                }
+                acc
+            });
+            black_box(results)
+        });
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    let cfg = DesConfig {
+        eval_time: vec![3.35e-3, 45.6e-3, 0.93],
+        eval_jitter: 0.2,
+        samples_per_level: vec![10_000, 1_000, 100],
+        burn_in: vec![500, 100, 20],
+        subsampling: vec![206, 17, 0],
+        chains_per_level: vec![32, 8, 4],
+        group_size: 1,
+        phonebook_service_time: 2e-4,
+            collector_service_time: 1e-3,
+        load_balancing: true,
+        seed: 4,
+    };
+    c.bench_function("des_poisson_schedule_44chains", |b| {
+        b.iter(|| black_box(simulate(&cfg)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mh_kernel,
+    bench_coupled_step,
+    bench_sequential_run,
+    bench_comm,
+    bench_des
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! **Ablation: model-specific hierarchy design** (DESIGN.md §5.3).
+//!
+//! The paper's level-0 tsunami model uses depth-averaged bathymetry with
+//! the order-2 scheme and no limiter. This ablation compares that choice
+//! against alternative coarse models at the same grid resolution:
+//! first-order FV on the full bathymetry, and order-2 + limiter on the
+//! full bathymetry — measuring cost (DOF updates, wall time) and
+//! fidelity (observation distance to the finest model).
+
+use std::time::Instant;
+use uq_bench::{render_table, to_csv, write_output, ExpArgs};
+use uq_swe::bathymetry::{self, Fidelity, DOMAIN};
+use uq_swe::gauge::{observation_vector, Gauge};
+use uq_swe::solver::{Boundary, Scheme, SweSolver, SweState};
+use uq_swe::tohoku::{constants, Resolution, TsunamiModel};
+use uq_swe::Grid2d;
+
+/// Run one custom coarse-model variant and return (obs, dof_updates, secs).
+fn run_variant(n: usize, fidelity: Fidelity, scheme: Scheme) -> (Vec<f64>, u64, f64) {
+    let grid = Grid2d::new(n, n, DOMAIN.0, DOMAIN.1);
+    let bathy = bathymetry::tabulate(&grid, fidelity);
+    let state = SweState::lake_at_rest(&bathy, 0.0);
+    let mut solver = SweSolver::new(grid, bathy, state, scheme, Boundary::Outflow);
+    let mut gauges: Vec<Gauge> = constants::BUOYS
+        .iter()
+        .map(|&(name, x, y)| Gauge::new(name, x, y))
+        .collect();
+    for g in &mut gauges {
+        g.calibrate(&solver);
+    }
+    let (rx, ry) = constants::UPLIFT_RADII;
+    let (sx, sy) = constants::SOURCE_REF;
+    solver.displace_surface(|x, y| {
+        let dx = (x - sx) / rx;
+        let dy = (y - sy) / ry;
+        constants::UPLIFT_AMPLITUDE * (-dx * dx - dy * dy).exp()
+    });
+    let t0 = Instant::now();
+    solver.run(constants::T_END, |s| {
+        for g in &mut gauges {
+            g.record(s);
+        }
+    });
+    (
+        observation_vector(&gauges),
+        solver.dof_updates(),
+        t0.elapsed().as_secs_f64(),
+    )
+}
+
+fn obs_distance(a: &[f64], b: &[f64]) -> f64 {
+    // normalized: heights in meters, times in minutes, weighted like the
+    // level-2 likelihood sigmas
+    let sigma = constants::SIGMA[2];
+    a.iter()
+        .zip(b)
+        .zip(&sigma)
+        .map(|((x, y), s)| ((x - y) / s).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let resolution = if args.paper {
+        Resolution::Paper
+    } else {
+        Resolution::Reduced
+    };
+    let n0 = resolution.cells(0);
+    println!("Ablation — level-0 model design (grid {n0}x{n0})\n");
+
+    // reference: the finest model
+    let mut fine = TsunamiModel::new(2, resolution);
+    let reference = fine.forward(&[0.0, 0.0]);
+
+    let variants: [(&str, Fidelity, Scheme); 4] = [
+        (
+            "paper: depth-avg + O2, no limiter",
+            Fidelity::DepthAveraged,
+            Scheme::SecondOrder { limiter: false },
+        ),
+        (
+            "full bathy + O1 FV",
+            Fidelity::Full,
+            Scheme::FirstOrder,
+        ),
+        (
+            "full bathy + O2 + limiter",
+            Fidelity::Full,
+            Scheme::SecondOrder { limiter: true },
+        ),
+        (
+            "smoothed bathy + O2 + limiter",
+            Fidelity::Smoothed,
+            Scheme::SecondOrder { limiter: true },
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, (name, fid, scheme)) in variants.iter().enumerate() {
+        let (obs, dofs, secs) = run_variant(n0, *fid, *scheme);
+        let dist = obs_distance(&obs, &reference);
+        rows.push(vec![
+            (*name).to_string(),
+            format!("{:.2e}", dofs as f64),
+            format!("{:.3}", secs),
+            format!("{:.2}", dist),
+            format!("{:.3}", obs[0]),
+            format!("{:.1}", obs[2]),
+        ]);
+        csv.push(vec![i as f64, dofs as f64, secs, dist, obs[0], obs[1], obs[2], obs[3]]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["level-0 variant", "DOF updates", "time[s]", "sigma-dist to L2", "hmax1", "t1[min]"],
+            &rows
+        )
+    );
+    println!("\nthe paper's choice trades some fidelity for a large cost cut and no limiter cells;");
+    println!("MLMCMC only needs the coarse level to be *informative*, not accurate.");
+    write_output(
+        &args.out_dir,
+        "ablation_hierarchy.csv",
+        &to_csv("variant,dof_updates,secs,sigma_dist,hmax1,hmax2,t1_min,t2_min", &csv),
+    );
+}

@@ -1,0 +1,90 @@
+//! **Ablation: subsampling rate ρ** (DESIGN.md §5.1).
+//!
+//! Sweeps the coarse-chain subsampling rate on a two-level hierarchy and
+//! reports the fine-chain IACT, correction variance and the total coarse
+//! cost: larger ρ decorrelates the coarse proposals (IACT → 1) but each
+//! fine sample pays ρ coarse evaluations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uq_bench::{render_table, to_csv, write_output, ExpArgs};
+use uq_mcmc::problem::GaussianTarget;
+use uq_mlmcmc::{run_sequential, MlmcmcConfig};
+
+struct TwoLevel {
+    rho: usize,
+}
+
+impl uq_mlmcmc::LevelFactory for TwoLevel {
+    fn n_levels(&self) -> usize {
+        2
+    }
+    fn problem(&self, level: usize) -> Box<dyn uq_mcmc::SamplingProblem> {
+        let mean = [0.7, 1.0][level];
+        let sd = [0.6, 0.5][level];
+        Box::new(GaussianTarget::new(vec![mean], sd))
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn uq_mcmc::Proposal> {
+        // deliberately small steps so the coarse chain is sticky and the
+        // value of subsampling is visible
+        Box::new(uq_mcmc::GaussianRandomWalk::new(0.25))
+    }
+    fn subsampling_rate(&self, level: usize) -> usize {
+        if level == 0 {
+            self.rho
+        } else {
+            0
+        }
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_samples = if args.paper { 40_000 } else { 8_000 };
+    println!("Ablation — subsampling rate rho (two-level Gaussian hierarchy)\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for rho in [1usize, 2, 4, 8, 16, 32, 64] {
+        let factory = TwoLevel { rho };
+        let config = MlmcmcConfig::new(vec![100, n_samples]).with_burn_in(vec![200, 500]);
+        let mut rng = StdRng::seed_from_u64(args.seed + rho as u64);
+        let report = run_sequential(&factory, &config, &mut rng);
+        let fine = &report.levels[1];
+        // cost proxy: coarse evals per fine sample
+        let coarse_per_fine = report.levels[0].evaluations as f64 / fine.n_samples as f64;
+        let iact = fine.iact;
+        let work_per_ess = coarse_per_fine * iact;
+        rows.push(vec![
+            rho.to_string(),
+            format!("{:.2}", iact),
+            format!("{:.2}", fine.acceptance_rate),
+            format!("{:.4}", fine.var_correction[0]),
+            format!("{:.1}", coarse_per_fine),
+            format!("{:.1}", work_per_ess),
+        ]);
+        csv.push(vec![
+            rho as f64,
+            iact,
+            fine.acceptance_rate,
+            fine.var_correction[0],
+            coarse_per_fine,
+            work_per_ess,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["rho", "fine IACT", "accept", "V[Y_1]", "coarse evals/sample", "work/ESS"],
+            &rows
+        )
+    );
+    println!("expected shape: IACT drops towards 1 with rho; work/ESS is minimized at a moderate rho.");
+    write_output(
+        &args.out_dir,
+        "ablation_subsampling.csv",
+        &to_csv("rho,fine_iact,acceptance,var_correction,coarse_evals_per_sample,work_per_ess", &csv),
+    );
+}

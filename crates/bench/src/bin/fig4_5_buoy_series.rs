@@ -1,0 +1,53 @@
+//! **Figs. 4 and 5**: sea-surface-height-anomaly time series at the two
+//! buoys (21418 and 21419) for representative source parameters on
+//! levels 0 and 1, compared against the synthetic "observed" series (the
+//! finest model at the reference source — the stand-in for the NDBC
+//! data, see DESIGN.md).
+
+use uq_bench::{to_csv, write_output, ExpArgs};
+use uq_swe::tohoku::{Resolution, TsunamiModel};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let resolution = if args.paper {
+        Resolution::Paper
+    } else {
+        Resolution::Reduced
+    };
+    println!("Figs. 4/5 — buoy time series per level vs. reference data");
+
+    // "observed" data: finest model at the reference source
+    let mut reference = TsunamiModel::new(2, resolution);
+    reference.record_series = true;
+    let obs = reference.forward(&[0.0, 0.0]);
+    println!(
+        "reference observation: hmax = ({:.3}, {:.3}) m at t = ({:.1}, {:.1}) min",
+        obs[0], obs[1], obs[2], obs[3]
+    );
+
+    // a few representative posterior-region samples on levels 0 and 1
+    let sample_thetas = [[0.0, 0.0], [20.0, -15.0], [-25.0, 30.0]];
+    for buoy in 0..2 {
+        let name = ["21418", "21419"][buoy];
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for &level in &[0usize, 1] {
+            for (si, theta) in sample_thetas.iter().enumerate() {
+                let mut model = TsunamiModel::new(level, resolution);
+                model.record_series = true;
+                model.forward(theta);
+                for &(t, h) in &model.last_series[buoy] {
+                    rows.push(vec![level as f64, si as f64, t / 60.0, h]);
+                }
+            }
+        }
+        // reference series tagged as level -1
+        for &(t, h) in &reference.last_series[buoy] {
+            rows.push(vec![-1.0, 0.0, t / 60.0, h]);
+        }
+        write_output(
+            &args.out_dir,
+            &format!("fig{}_buoy_{}.csv", 4 + buoy, name),
+            &to_csv("level,sample,t_min,ssha_m", &rows),
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! # uq-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index) plus Criterion
+//! micro-benchmarks of the underlying kernels.
+//!
+//! Each experiment is a binary under `src/bin/`; all of them accept
+//! `--paper` to run at the paper's full scale and default to CI-sized
+//! parameters otherwise. Outputs go to `results/` as CSV plus a printed
+//! table mirroring the paper's layout.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Parsed common command-line options for experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Run at the paper's full scale.
+    pub paper: bool,
+    /// Output directory (default `results/`).
+    pub out_dir: PathBuf,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`. Recognizes `--paper`,
+    /// `--out <dir>`, `--seed <n>`.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs {
+            paper: false,
+            out_dir: PathBuf::from("results"),
+            seed: 20210730,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--paper" => args.paper = true,
+                "--out" => {
+                    args.out_dir = PathBuf::from(iter.next().expect("--out needs a value"));
+                }
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                other => panic!("unknown argument: {other} (expected --paper/--out/--seed)"),
+            }
+        }
+        args
+    }
+}
+
+/// Write `content` to `<out_dir>/<name>`, creating the directory.
+pub fn write_output(out_dir: &Path, name: &str, content: &str) -> PathBuf {
+    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
+    let path = out_dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("cannot create output file");
+    f.write_all(content.as_bytes()).expect("cannot write output");
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Format a CSV from a header and rows.
+pub fn to_csv(header: &str, rows: &[Vec<f64>]) -> String {
+    let mut out = String::from(header);
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an aligned text table (for terminal output mirroring the
+/// paper's tables).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_formatting() {
+        let csv = to_csv("a,b", &[vec![1.0, 2.5], vec![3.0, -4.0]]);
+        assert_eq!(csv, "a,b\n1,2.5\n3,-4\n");
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["level", "value"],
+            &[
+                vec!["0".into(), "1.5".into()],
+                vec!["10".into(), "22.75".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("level"));
+        assert!(lines[3].ends_with("22.75"));
+    }
+
+    #[test]
+    fn write_output_roundtrip() {
+        let dir = std::env::temp_dir().join("uq_bench_test_out");
+        let p = write_output(&dir, "t.csv", "x\n1\n");
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

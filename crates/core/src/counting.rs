@@ -1,0 +1,138 @@
+//! Instrumentation wrapper counting model evaluations and their
+//! wall-clock cost — the data behind the `t_l` and evaluation-count
+//! columns of the paper's Tables 3 and 4.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use uq_mcmc::SamplingProblem;
+
+/// Shared evaluation counters (clone-able handle, thread-safe so the
+/// parallel scheduler's workers can share one per level).
+#[derive(Clone, Debug, Default)]
+pub struct EvalCounter {
+    inner: Arc<CounterInner>,
+}
+
+#[derive(Debug, Default)]
+struct CounterInner {
+    evaluations: AtomicUsize,
+    nanos: AtomicU64,
+}
+
+impl EvalCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one evaluation of `nanos` wall-clock nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.inner.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.inner.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total number of evaluations recorded.
+    pub fn evaluations(&self) -> usize {
+        self.inner.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Mean evaluation time in milliseconds (`t_l`), or 0 if none.
+    pub fn mean_eval_ms(&self) -> f64 {
+        let n = self.evaluations();
+        if n == 0 {
+            0.0
+        } else {
+            self.inner.nanos.load(Ordering::Relaxed) as f64 / n as f64 / 1.0e6
+        }
+    }
+
+    /// Total evaluation time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.inner.nanos.load(Ordering::Relaxed) as f64 / 1.0e9
+    }
+}
+
+/// Wraps a [`SamplingProblem`], timing every `log_density` call.
+pub struct CountingProblem {
+    inner: Box<dyn SamplingProblem>,
+    counter: EvalCounter,
+}
+
+impl CountingProblem {
+    pub fn new(inner: Box<dyn SamplingProblem>, counter: EvalCounter) -> Self {
+        Self { inner, counter }
+    }
+
+    pub fn counter(&self) -> &EvalCounter {
+        &self.counter
+    }
+}
+
+impl SamplingProblem for CountingProblem {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn log_density(&mut self, theta: &[f64]) -> f64 {
+        let start = Instant::now();
+        let v = self.inner.log_density(theta);
+        self.counter.record(start.elapsed().as_nanos() as u64);
+        v
+    }
+
+    fn qoi(&mut self, theta: &[f64]) -> Vec<f64> {
+        self.inner.qoi(theta)
+    }
+
+    fn qoi_dim(&self) -> usize {
+        self.inner.qoi_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uq_mcmc::problem::GaussianTarget;
+
+    #[test]
+    fn counter_records_calls() {
+        let counter = EvalCounter::new();
+        let mut p = CountingProblem::new(Box::new(GaussianTarget::standard(2)), counter.clone());
+        assert_eq!(counter.evaluations(), 0);
+        p.log_density(&[0.0, 0.0]);
+        p.log_density(&[1.0, 1.0]);
+        assert_eq!(counter.evaluations(), 2);
+        assert!(counter.total_secs() >= 0.0);
+    }
+
+    #[test]
+    fn qoi_calls_are_not_counted() {
+        let counter = EvalCounter::new();
+        let mut p = CountingProblem::new(Box::new(GaussianTarget::standard(2)), counter.clone());
+        p.qoi(&[0.5, 0.5]);
+        assert_eq!(counter.evaluations(), 0);
+    }
+
+    #[test]
+    fn shared_counter_aggregates_across_problems() {
+        let counter = EvalCounter::new();
+        let mut a = CountingProblem::new(Box::new(GaussianTarget::standard(1)), counter.clone());
+        let mut b = CountingProblem::new(Box::new(GaussianTarget::standard(1)), counter.clone());
+        a.log_density(&[0.0]);
+        b.log_density(&[0.0]);
+        assert_eq!(counter.evaluations(), 2);
+    }
+
+    #[test]
+    fn counting_preserves_density_values() {
+        let counter = EvalCounter::new();
+        let mut plain = GaussianTarget::standard(3);
+        let mut wrapped =
+            CountingProblem::new(Box::new(GaussianTarget::standard(3)), counter.clone());
+        let theta = [0.1, -0.2, 0.3];
+        assert_eq!(plain.log_density(&theta), wrapped.log_density(&theta));
+        assert_eq!(plain.qoi(&theta), wrapped.qoi(&theta));
+        assert_eq!(wrapped.dim(), 3);
+        assert_eq!(wrapped.qoi_dim(), 3);
+    }
+}

@@ -1,0 +1,654 @@
+//! The two-level coupled transition kernel of multilevel MCMC
+//! (paper Algorithm 2).
+//!
+//! A chain on level `l ≥ 1` draws its proposals from a *coarse-proposal
+//! source* — the subsampled level-`l-1` chain — and accepts with
+//!
+//! ```text
+//! α = min(1, [ν_l(θ') q_l(θ_F|θ'_F) ν_{l-1}(θ_C)] /
+//!            [ν_l(θ)  q_l(θ'_F|θ_F) ν_{l-1}(θ'_C)])
+//! ```
+//!
+//! where the `q_l` factors appear only when the parameter dimension grows
+//! across levels (fine tail components).
+//!
+//! **Exactness and the rewind rule.** The simple acceptance ratio above
+//! is the Hastings correction for the proposal kernel `K_{l-1}^ρ` (ρ
+//! coarse steps) *started from the coarse state associated with the
+//! current fine state*: by reversibility of the coarse kernel,
+//! `K^ρ(θ_C → θ'_C) ν_{l-1}(θ_C) = K^ρ(θ'_C → θ_C) ν_{l-1}(θ'_C)`, so the
+//! `K^ρ` densities cancel into the coarse density ratio. The sequential
+//! source therefore **rewinds** the coarse chain to the fine chain's
+//! anchor before generating each proposal — letting the coarse chain run
+//! on from a rejected proposal (the naive reading of Algorithm 2) leaves
+//! a bias towards the coarse posterior, which our estimator tests
+//! detected. Anchors are recursive: a coupled coarse chain carries its
+//! own anchor, shipped inside [`CoarseSample::sub_anchor`]. The parallel
+//! scheduler's remote source instead serves from independent,
+//! long-running chains whose states decorrelate between requests (the
+//! independence-proposal limit where no rewind is needed).
+
+use crate::factory::LevelFactory;
+use rand::Rng;
+use uq_mcmc::kernel::{mh_step, SamplingState};
+use uq_mcmc::{Proposal, SamplingProblem};
+
+/// A state of the next-coarser chain, shipped with its cached log-density
+/// and QOI so the fine chain never re-evaluates the coarse model, plus
+/// the serving chain's own (recursive) anchor for exact rewinding.
+#[derive(Clone, Debug)]
+pub struct CoarseSample {
+    pub theta: Vec<f64>,
+    pub log_density: f64,
+    pub qoi: Vec<f64>,
+    /// The serving chain's own coarse anchor at this state (`None` for
+    /// level-0 chains and for remote/parallel sources).
+    pub sub_anchor: Option<Box<CoarseSample>>,
+}
+
+/// Where a coupled chain gets its coarse proposals from.
+///
+/// Sequential MLMCMC uses [`ChainCoarseSource`] (an in-process recursive
+/// chain with the rewind rule); the parallel scheduler substitutes a
+/// proxy that requests samples from remote controllers via the phonebook.
+pub trait CoarseProposalSource: Send {
+    /// Generate the next coarse proposal. `anchor` is the coarse state
+    /// associated with the requesting chain's current state; exact
+    /// sequential sources rewind to it before advancing the subsampling
+    /// stride, remote sources may ignore it.
+    fn next_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseSample;
+
+    /// Evaluate density, QOI and (recursively) the sub-anchor at an
+    /// arbitrary point — needed once for the fine chain's starting state.
+    fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample;
+}
+
+enum Kind {
+    /// Level 0: a standard Metropolis–Hastings chain.
+    Base { proposal: Box<dyn Proposal> },
+    /// Level `l ≥ 1`: coarse proposals + optional fine-tail proposal.
+    Coupled {
+        source: Box<dyn CoarseProposalSource>,
+        /// Proposal for the tail components `θ_F`; only consulted when
+        /// `coarse_dim < dim`.
+        tail_proposal: Box<dyn Proposal>,
+        coarse_dim: usize,
+        /// Coarse state associated with the current fine state:
+        /// `ν_{l-1}` value, QOI, and recursive sub-anchor.
+        anchor: CoarseSample,
+        /// The coarse sample used in the most recent step (accepted or
+        /// not) — the `Q_{l-1}` half of the correction pair.
+        last_coarse: Option<CoarseSample>,
+    },
+}
+
+/// A single chain in the multilevel hierarchy (level 0 or coupled).
+pub struct MlChain {
+    level: usize,
+    problem: Box<dyn SamplingProblem>,
+    kind: Kind,
+    state: SamplingState,
+    steps: usize,
+    accepted: usize,
+}
+
+impl MlChain {
+    /// Level-0 chain with a conventional proposal.
+    pub fn base(
+        mut problem: Box<dyn SamplingProblem>,
+        proposal: Box<dyn Proposal>,
+        theta0: Vec<f64>,
+    ) -> Self {
+        let state = SamplingState::initial(problem.as_mut(), theta0);
+        Self {
+            level: 0,
+            problem,
+            kind: Kind::Base { proposal },
+            state,
+            steps: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Coupled chain on `level ≥ 1` drawing coarse proposals from
+    /// `source`. `tail_proposal` is used for the dimensions beyond
+    /// `coarse_dim` (pass any proposal when dimensions are constant — it
+    /// will not be consulted).
+    pub fn coupled(
+        level: usize,
+        mut problem: Box<dyn SamplingProblem>,
+        mut source: Box<dyn CoarseProposalSource>,
+        tail_proposal: Box<dyn Proposal>,
+        coarse_dim: usize,
+        theta0: Vec<f64>,
+    ) -> Self {
+        assert!(level >= 1, "MlChain::coupled: level must be >= 1");
+        assert!(
+            coarse_dim <= theta0.len(),
+            "MlChain::coupled: coarse dimension exceeds fine dimension"
+        );
+        let anchor = source.anchor_at(&theta0[..coarse_dim]);
+        let state = SamplingState::initial(problem.as_mut(), theta0);
+        Self {
+            level,
+            problem,
+            kind: Kind::Coupled {
+                source,
+                tail_proposal,
+                coarse_dim,
+                anchor,
+                last_coarse: None,
+            },
+            state,
+            steps: 0,
+            accepted: 0,
+        }
+    }
+
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    pub fn state(&self) -> &SamplingState {
+        &self.state
+    }
+
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// The coarse sample used by the most recent coupled step (`None` for
+    /// level-0 chains or before the first step).
+    pub fn last_coarse(&self) -> Option<&CoarseSample> {
+        match &self.kind {
+            Kind::Base { .. } => None,
+            Kind::Coupled { last_coarse, .. } => last_coarse.as_ref(),
+        }
+    }
+
+    /// Evaluate this chain's target log-density at an arbitrary point.
+    pub fn eval_log_density(&mut self, theta: &[f64]) -> f64 {
+        self.problem.log_density(theta)
+    }
+
+    /// Package density/QOI/sub-anchor information for `theta` — used to
+    /// initialize fine chains anchored at this chain's level.
+    pub fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
+        let log_density = self.problem.log_density(theta);
+        let qoi = self.problem.qoi(theta);
+        let sub_anchor = match &mut self.kind {
+            Kind::Base { .. } => None,
+            Kind::Coupled {
+                source, coarse_dim, ..
+            } => Some(Box::new(source.anchor_at(&theta[..*coarse_dim]))),
+        };
+        CoarseSample {
+            theta: theta.to_vec(),
+            log_density,
+            qoi,
+            sub_anchor,
+        }
+    }
+
+    /// Current state packaged as a [`CoarseSample`] (including this
+    /// chain's own anchor for recursive rewinding).
+    pub fn current_as_sample(&self) -> CoarseSample {
+        let sub_anchor = match &self.kind {
+            Kind::Base { .. } => None,
+            Kind::Coupled { anchor, .. } => Some(Box::new(anchor.clone())),
+        };
+        CoarseSample {
+            theta: self.state.theta.clone(),
+            log_density: self.state.log_density,
+            qoi: self.state.qoi.clone(),
+            sub_anchor,
+        }
+    }
+
+    /// Rewind this chain to a previously served sample (the exactness
+    /// rule — see the module docs). No model evaluations are performed;
+    /// everything needed is cached inside the sample.
+    ///
+    /// # Panics
+    /// Panics if a coupled chain is restored from a sample without a
+    /// sub-anchor.
+    pub fn restore(&mut self, sample: &CoarseSample) {
+        self.state = SamplingState {
+            theta: sample.theta.clone(),
+            log_density: sample.log_density,
+            qoi: sample.qoi.clone(),
+        };
+        if let Kind::Coupled { anchor, .. } = &mut self.kind {
+            *anchor = *sample
+                .sub_anchor
+                .as_ref()
+                .expect("restore: coupled chain needs a sub-anchor")
+                .clone();
+        }
+    }
+
+    /// Advance one step; returns whether the proposal was accepted.
+    pub fn step(&mut self, rng: &mut dyn Rng) -> bool {
+        self.steps += 1;
+        let accepted = match &mut self.kind {
+            Kind::Base { proposal } => {
+                let (state, accepted) =
+                    mh_step(self.problem.as_mut(), proposal.as_mut(), &self.state, rng);
+                self.state = state;
+                accepted
+            }
+            Kind::Coupled {
+                source,
+                tail_proposal,
+                coarse_dim,
+                anchor,
+                last_coarse,
+            } => {
+                let coarse = source.next_coarse(rng, anchor);
+                if coarse.theta.len() != *coarse_dim {
+                    // teardown poison from a parallel source: reject
+                    // without touching the chain state or the coupled
+                    // correction bookkeeping
+                    return false;
+                }
+                let dim = self.state.theta.len();
+                let tail_dim = dim - *coarse_dim;
+                // assemble the proposal: coarse component + fine tail
+                let mut cand = coarse.theta.clone();
+                let mut log_q_ratio = 0.0;
+                if tail_dim > 0 {
+                    let current_tail = &self.state.theta[*coarse_dim..];
+                    let cand_tail = tail_proposal.propose(current_tail, rng);
+                    if !tail_proposal.is_symmetric() {
+                        log_q_ratio = tail_proposal.log_density(&cand_tail, current_tail)
+                            - tail_proposal.log_density(current_tail, &cand_tail);
+                    }
+                    cand.extend_from_slice(&cand_tail);
+                }
+                let accepted = if coarse.log_density == f64::NEG_INFINITY {
+                    false
+                } else {
+                    let cand_log_density = self.problem.log_density(&cand);
+                    if cand_log_density == f64::NEG_INFINITY {
+                        false
+                    } else {
+                        // Algorithm 2 acceptance: fine ratio × tail-
+                        // proposal correction × *inverse* coarse ratio
+                        let log_alpha = (cand_log_density - self.state.log_density)
+                            + log_q_ratio
+                            + (anchor.log_density - coarse.log_density);
+                        let accept = log_alpha >= 0.0 || {
+                            use rand::RngExt;
+                            rng.random::<f64>().ln() < log_alpha
+                        };
+                        if accept {
+                            let qoi = self.problem.qoi(&cand);
+                            self.state = SamplingState {
+                                theta: cand,
+                                log_density: cand_log_density,
+                                qoi,
+                            };
+                            *anchor = coarse.clone();
+                        }
+                        accept
+                    }
+                };
+                *last_coarse = Some(coarse);
+                accepted
+            }
+        };
+        self.accepted += accepted as usize;
+        accepted
+    }
+}
+
+/// Sequential coarse-proposal source: owns the next-coarser [`MlChain`]
+/// (itself possibly coupled, recursively down to level 0), rewinds it to
+/// the requester's anchor and subsamples it at rate `rho`.
+pub struct ChainCoarseSource {
+    chain: MlChain,
+    rho: usize,
+}
+
+impl ChainCoarseSource {
+    /// `rho` is clamped to at least 1 (every fine proposal advances the
+    /// coarse chain at least one step).
+    pub fn new(chain: MlChain, rho: usize) -> Self {
+        Self {
+            chain,
+            rho: rho.max(1),
+        }
+    }
+
+    pub fn chain(&self) -> &MlChain {
+        &self.chain
+    }
+}
+
+impl CoarseProposalSource for ChainCoarseSource {
+    fn next_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseSample {
+        // the exactness rewind: restart the coarse chain from the coarse
+        // state associated with the requester's current state
+        self.chain.restore(anchor);
+        for _ in 0..self.rho {
+            self.chain.step(rng);
+        }
+        self.chain.current_as_sample()
+    }
+
+    fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
+        self.chain.anchor_at(theta)
+    }
+}
+
+/// Build the full recursive chain stack for `level` from a factory:
+/// level 0 is a base chain, each higher level wraps the one below as its
+/// coarse-proposal source (subsampled at `factory.subsampling_rate`).
+pub fn build_chain_stack(factory: &dyn LevelFactory, level: usize) -> MlChain {
+    assert!(level < factory.n_levels(), "build_chain_stack: level out of range");
+    if level == 0 {
+        return MlChain::base(
+            factory.problem(0),
+            factory.proposal(0),
+            factory.starting_point(0),
+        );
+    }
+    let coarse_chain = build_chain_stack(factory, level - 1);
+    let coarse_dim = factory.starting_point(level - 1).len();
+    // Algorithm 2: the fine starting point takes its coarse component from
+    // the next-coarser starting point
+    let mut theta0 = factory.starting_point(level);
+    theta0[..coarse_dim].copy_from_slice(&factory.starting_point(level - 1));
+    let source = ChainCoarseSource::new(coarse_chain, factory.subsampling_rate(level - 1));
+    MlChain::coupled(
+        level,
+        factory.problem(level),
+        Box::new(source),
+        factory.proposal(level),
+        coarse_dim,
+        theta0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::test_support::GaussianHierarchy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uq_linalg::prob::isotropic_gaussian_logpdf;
+    use uq_mcmc::problem::GaussianTarget;
+    use uq_mcmc::proposal::GaussianRandomWalk;
+    use uq_mcmc::stats;
+
+    fn base_gaussian_chain(mean: f64, sd: f64, dim: usize) -> MlChain {
+        MlChain::base(
+            Box::new(GaussianTarget::new(vec![mean; dim], sd)),
+            Box::new(GaussianRandomWalk::new(0.8)),
+            vec![0.0; dim],
+        )
+    }
+
+    #[test]
+    fn identical_levels_accept_everything() {
+        // ν_l = ν_{l-1} ⇒ the Algorithm-2 ratio is exactly 1
+        let coarse = base_gaussian_chain(0.0, 1.0, 2);
+        let source = ChainCoarseSource::new(coarse, 3);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![0.0; 2], 1.0)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            2,
+            vec![0.0; 2],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(fine.step(&mut rng), "identical levels must always accept");
+        }
+        assert_eq!(fine.acceptance_rate(), 1.0);
+    }
+
+    #[test]
+    fn coupled_chain_targets_fine_distribution() {
+        // coarse N(0.5, 0.8²), fine N(1.0, 0.5²): fine chain must converge
+        // to the FINE target despite coarse proposals
+        let coarse = base_gaussian_chain(0.5, 0.8, 1);
+        let source = ChainCoarseSource::new(coarse, 3);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trace = Vec::new();
+        for i in 0..60_000 {
+            fine.step(&mut rng);
+            if i >= 2000 {
+                trace.push(fine.state().theta[0]);
+            }
+        }
+        let mean = stats::mean(&trace);
+        let sd = stats::variance(&trace).sqrt();
+        assert!((mean - 1.0).abs() < 0.03, "fine mean {mean}");
+        assert!((sd - 0.5).abs() < 0.03, "fine sd {sd}");
+        let rate = fine.acceptance_rate();
+        assert!(rate > 0.3 && rate < 1.0, "acceptance {rate}");
+    }
+
+    #[test]
+    fn rewind_restores_exactness_under_small_rho() {
+        // with rho = 1 the naive (non-rewinding) scheme is maximally
+        // biased; the rewinding kernel must still target the fine
+        // distribution exactly
+        let coarse = base_gaussian_chain(0.0, 1.0, 1);
+        let source = ChainCoarseSource::new(coarse, 1);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.5], 0.4)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut trace = Vec::new();
+        for i in 0..120_000 {
+            fine.step(&mut rng);
+            if i >= 5000 {
+                trace.push(fine.state().theta[0]);
+            }
+        }
+        let mean = stats::mean(&trace);
+        assert!(
+            (mean - 1.5).abs() < 0.05,
+            "rho = 1 coupled chain must stay unbiased, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn coarse_proposals_decorrelate_fine_chain() {
+        // IACT of the coupled fine chain should be near 1 (the paper's
+        // observation) because proposals are nearly independent draws
+        let coarse = base_gaussian_chain(1.0, 0.55, 1);
+        let source = ChainCoarseSource::new(coarse, 8);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![1.0],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut trace = Vec::new();
+        for i in 0..20_000 {
+            fine.step(&mut rng);
+            if i >= 1000 {
+                trace.push(fine.state().theta[0]);
+            }
+        }
+        let tau = stats::integrated_autocorrelation_time(&trace);
+        assert!(tau < 2.5, "coupled-chain IACT should be near 1, got {tau}");
+    }
+
+    #[test]
+    fn last_coarse_tracks_proposal_even_on_rejection() {
+        // extremely mismatched levels force rejections; last_coarse must
+        // still update every step (it feeds the telescoping estimator)
+        let coarse = base_gaussian_chain(5.0, 0.2, 1);
+        let source = ChainCoarseSource::new(coarse, 2);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![-5.0], 0.2)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![-5.0],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut prev: Option<Vec<f64>> = None;
+        let mut changed = 0;
+        for _ in 0..50 {
+            fine.step(&mut rng);
+            let lc = fine.last_coarse().expect("must record coarse sample");
+            if let Some(p) = &prev {
+                if p != &lc.theta {
+                    changed += 1;
+                }
+            }
+            prev = Some(lc.theta.clone());
+        }
+        assert!(changed > 20, "coarse proposals should keep moving ({changed})");
+        // with such mismatched levels the fine chain never actually moves:
+        // the only "accepted" proposals are trivial self-proposals (the
+        // rewound coarse chain rejected all its own moves)
+        assert_eq!(fine.state().theta, vec![-5.0]);
+    }
+
+    #[test]
+    fn dimension_growth_with_tail_proposal() {
+        // coarse: 1-D N(0,1); fine: 2-D independent N(0,1) ⊗ N(2, 0.5²).
+        // The tail component must converge to N(2, 0.5²).
+        struct Fine2d;
+        impl uq_mcmc::SamplingProblem for Fine2d {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn log_density(&mut self, th: &[f64]) -> f64 {
+                isotropic_gaussian_logpdf(&th[..1], &[0.0], 1.0)
+                    + isotropic_gaussian_logpdf(&th[1..], &[2.0], 0.5)
+            }
+        }
+        let coarse = base_gaussian_chain(0.0, 1.0, 1);
+        let source = ChainCoarseSource::new(coarse, 3);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(Fine2d),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.6)),
+            1,
+            vec![0.0, 0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tail_trace = Vec::new();
+        for i in 0..40_000 {
+            fine.step(&mut rng);
+            if i >= 2000 {
+                tail_trace.push(fine.state().theta[1]);
+            }
+        }
+        let mean = stats::mean(&tail_trace);
+        let sd = stats::variance(&tail_trace).sqrt();
+        assert!((mean - 2.0).abs() < 0.06, "tail mean {mean}");
+        assert!((sd - 0.5).abs() < 0.06, "tail sd {sd}");
+    }
+
+    #[test]
+    fn build_stack_produces_recursive_hierarchy() {
+        let h = GaussianHierarchy::three_level(2);
+        let mut chain = build_chain_stack(&h, 2);
+        assert_eq!(chain.level(), 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut trace = Vec::new();
+        for i in 0..12_000 {
+            chain.step(&mut rng);
+            if i >= 1000 {
+                trace.push(chain.state().theta[0]);
+            }
+        }
+        // finest level targets N(1.0, 0.5²)
+        let mean = stats::mean(&trace);
+        assert!((mean - 1.0).abs() < 0.08, "stack mean {mean}");
+    }
+
+    #[test]
+    fn unphysical_coarse_proposal_is_rejected() {
+        struct Cutoff;
+        impl uq_mcmc::SamplingProblem for Cutoff {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn log_density(&mut self, th: &[f64]) -> f64 {
+                if th[0].abs() > 1.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    0.0
+                }
+            }
+        }
+        // coarse chain lives far outside the fine support
+        let coarse = base_gaussian_chain(10.0, 0.5, 1);
+        let source = ChainCoarseSource::new(coarse, 1);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(Cutoff),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            fine.step(&mut rng);
+            assert!(fine.state().theta[0].abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn restore_roundtrips_state_and_anchor() {
+        let coarse = base_gaussian_chain(0.5, 0.8, 1);
+        let source = ChainCoarseSource::new(coarse, 2);
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            fine.step(&mut rng);
+        }
+        let snapshot = fine.current_as_sample();
+        for _ in 0..20 {
+            fine.step(&mut rng);
+        }
+        fine.restore(&snapshot);
+        assert_eq!(fine.state().theta, snapshot.theta);
+        assert_eq!(fine.state().log_density, snapshot.log_density);
+        assert_eq!(fine.current_as_sample().sub_anchor.is_some(), true);
+    }
+}

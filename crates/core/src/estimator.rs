@@ -1,0 +1,366 @@
+//! The multilevel telescoping estimator (paper eq. 2) and the sequential
+//! MLMCMC driver.
+//!
+//! `E[Q_L] ≈ E[Q_0] + Σ_{l=1}^{L} E[Q_l - Q_{l-1}]`: the level-0 term is
+//! estimated by a conventional chain, each correction term by a coupled
+//! chain whose coarse proposals come from the recursive stack below it.
+//! The driver records everything the paper tabulates: per-level means,
+//! correction variances, integrated autocorrelation times, acceptance
+//! rates, evaluation counts and mean evaluation cost.
+
+use crate::counting::{CountingProblem, EvalCounter};
+use crate::coupled::{build_chain_stack, MlChain};
+use crate::factory::LevelFactory;
+use rand::Rng;
+use uq_mcmc::stats::{integrated_autocorrelation_time, VectorMoments};
+use uq_mcmc::{Proposal, SamplingProblem};
+
+/// Configuration of a sequential MLMCMC run.
+#[derive(Clone, Debug)]
+pub struct MlmcmcConfig {
+    /// Samples per level (`N_l`), coarsest first. Length = number of
+    /// levels to use (may be shorter than the factory's hierarchy).
+    pub samples_per_level: Vec<usize>,
+    /// Burn-in steps per level chain.
+    pub burn_in: Vec<usize>,
+    /// QOI component used for the IACT / variance columns of the report
+    /// (the paper's "single representative component").
+    pub representative_component: usize,
+    /// Retain per-sample traces (parameters, QOIs and coarse/fine
+    /// correction pairs) for figure generation. Off by default — the
+    /// moments are accumulated streaming either way.
+    pub record_samples: bool,
+}
+
+impl MlmcmcConfig {
+    pub fn new(samples_per_level: Vec<usize>) -> Self {
+        let n = samples_per_level.len();
+        Self {
+            samples_per_level,
+            burn_in: vec![0; n],
+            representative_component: 0,
+            record_samples: false,
+        }
+    }
+
+    pub fn with_burn_in(mut self, burn_in: Vec<usize>) -> Self {
+        assert_eq!(burn_in.len(), self.samples_per_level.len());
+        self.burn_in = burn_in;
+        self
+    }
+
+    pub fn recording(mut self) -> Self {
+        self.record_samples = true;
+        self
+    }
+}
+
+/// Per-level results: the rows of the paper's Tables 3 and 4.
+#[derive(Clone, Debug)]
+pub struct LevelReport {
+    pub level: usize,
+    /// Recorded samples `N_l`.
+    pub n_samples: usize,
+    /// Acceptance rate of the level-`l` chain.
+    pub acceptance_rate: f64,
+    /// `E[Q_0]` (level 0) or `E[Q_l - Q_{l-1}]` (corrections), per
+    /// QOI component.
+    pub mean_correction: Vec<f64>,
+    /// `V[Q_0]` or `V[Q_l - Q_{l-1}]`, per QOI component.
+    pub var_correction: Vec<f64>,
+    /// IACT `τ_l` of the representative QOI component of the level-`l`
+    /// chain trace.
+    pub iact: f64,
+    /// Model evaluations on this level accumulated across the whole run
+    /// (all telescoping terms).
+    pub evaluations: usize,
+    /// Mean cost per evaluation in milliseconds (`t_l`).
+    pub mean_eval_ms: f64,
+    /// Retained parameter samples (empty unless `record_samples`).
+    pub theta_samples: Vec<Vec<f64>>,
+    /// Retained QOI samples (empty unless `record_samples`).
+    pub qoi_samples: Vec<Vec<f64>>,
+    /// Retained (coarse QOI, fine QOI) correction pairs — Fig. 14's
+    /// arrows (empty for level 0 or unless `record_samples`).
+    pub correction_pairs: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Results of a full multilevel run.
+#[derive(Clone, Debug)]
+pub struct MlmcmcReport {
+    pub levels: Vec<LevelReport>,
+}
+
+impl MlmcmcReport {
+    /// The telescoping-sum estimate `E[Q_0] + Σ E[Q_l - Q_{l-1}]`.
+    pub fn expectation(&self) -> Vec<f64> {
+        let dim = self.levels[0].mean_correction.len();
+        let mut total = vec![0.0; dim];
+        for lvl in &self.levels {
+            for (t, m) in total.iter_mut().zip(&lvl.mean_correction) {
+                *t += m;
+            }
+        }
+        total
+    }
+
+    /// Partial sums `E[Q_0] + Σ_{k≤l} E[Q_k - Q_{k-1}]` per level —
+    /// the last column of the paper's Table 4.
+    pub fn partial_sums(&self) -> Vec<Vec<f64>> {
+        let dim = self.levels[0].mean_correction.len();
+        let mut acc = vec![0.0; dim];
+        self.levels
+            .iter()
+            .map(|lvl| {
+                for (a, m) in acc.iter_mut().zip(&lvl.mean_correction) {
+                    *a += m;
+                }
+                acc.clone()
+            })
+            .collect()
+    }
+
+    /// Total model evaluations across all levels.
+    pub fn total_evaluations(&self) -> usize {
+        self.levels.iter().map(|l| l.evaluations).sum()
+    }
+}
+
+/// A factory adapter that wraps every produced problem in a
+/// [`CountingProblem`] sharing per-level counters.
+struct CountingFactory<'a> {
+    inner: &'a dyn LevelFactory,
+    counters: Vec<EvalCounter>,
+}
+
+impl LevelFactory for CountingFactory<'_> {
+    fn n_levels(&self) -> usize {
+        self.inner.n_levels()
+    }
+
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        Box::new(CountingProblem::new(
+            self.inner.problem(level),
+            self.counters[level].clone(),
+        ))
+    }
+
+    fn proposal(&self, level: usize) -> Box<dyn Proposal> {
+        self.inner.proposal(level)
+    }
+
+    fn subsampling_rate(&self, level: usize) -> usize {
+        self.inner.subsampling_rate(level)
+    }
+
+    fn starting_point(&self, level: usize) -> Vec<f64> {
+        self.inner.starting_point(level)
+    }
+}
+
+/// Run one telescoping term (the level-`l` chain) and report it.
+fn run_term(
+    chain: &mut MlChain,
+    level: usize,
+    n_samples: usize,
+    burn_in: usize,
+    config: &MlmcmcConfig,
+    rng: &mut dyn Rng,
+) -> (VectorMoments, LevelReport) {
+    for _ in 0..burn_in {
+        chain.step(rng);
+    }
+    let qoi_dim = chain.state().qoi.len();
+    let mut moments = VectorMoments::new(qoi_dim);
+    let mut rep_trace = Vec::with_capacity(n_samples);
+    let mut theta_samples = Vec::new();
+    let mut qoi_samples = Vec::new();
+    let mut correction_pairs = Vec::new();
+    let rep = config.representative_component.min(qoi_dim.saturating_sub(1));
+    for _ in 0..n_samples {
+        chain.step(rng);
+        let fine_qoi = chain.state().qoi.clone();
+        let correction: Vec<f64> = match chain.last_coarse() {
+            None => fine_qoi.clone(),
+            Some(coarse) => fine_qoi
+                .iter()
+                .zip(&coarse.qoi)
+                .map(|(f, c)| f - c)
+                .collect(),
+        };
+        moments.push(&correction);
+        rep_trace.push(fine_qoi[rep]);
+        if config.record_samples {
+            theta_samples.push(chain.state().theta.clone());
+            if let Some(coarse) = chain.last_coarse() {
+                correction_pairs.push((coarse.qoi.clone(), fine_qoi.clone()));
+            }
+            qoi_samples.push(fine_qoi);
+        }
+    }
+    let report = LevelReport {
+        level,
+        n_samples,
+        acceptance_rate: chain.acceptance_rate(),
+        mean_correction: moments.mean(),
+        var_correction: moments.variance(),
+        iact: integrated_autocorrelation_time(&rep_trace),
+        evaluations: 0,   // filled in by the driver from the counters
+        mean_eval_ms: 0.0,
+        theta_samples,
+        qoi_samples,
+        correction_pairs,
+    };
+    (moments, report)
+}
+
+/// Sequential multilevel MCMC (paper Algorithm 2 driven level by level).
+///
+/// Runs a conventional chain on level 0 and one coupled chain per
+/// correction term, each with its own recursive coarse stack, and
+/// assembles the telescoping report.
+pub fn run_sequential(
+    factory: &dyn LevelFactory,
+    config: &MlmcmcConfig,
+    rng: &mut dyn Rng,
+) -> MlmcmcReport {
+    let n_levels = config.samples_per_level.len();
+    assert!(n_levels >= 1, "run_sequential: need at least one level");
+    assert!(
+        n_levels <= factory.n_levels(),
+        "run_sequential: more levels requested than the factory provides"
+    );
+    let counting = CountingFactory {
+        inner: factory,
+        counters: (0..factory.n_levels()).map(|_| EvalCounter::new()).collect(),
+    };
+    let mut levels = Vec::with_capacity(n_levels);
+    for level in 0..n_levels {
+        let mut chain = build_chain_stack(&counting, level);
+        let (_, mut report) = run_term(
+            &mut chain,
+            level,
+            config.samples_per_level[level],
+            config.burn_in[level],
+            config,
+            rng,
+        );
+        levels.push(report.clone());
+        report.theta_samples.clear();
+    }
+    // distribute evaluation counts (shared across terms) to the reports
+    for (level, report) in levels.iter_mut().enumerate() {
+        report.evaluations = counting.counters[level].evaluations();
+        report.mean_eval_ms = counting.counters[level].mean_eval_ms();
+    }
+    MlmcmcReport { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::test_support::GaussianHierarchy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_three_level(n: usize, seed: u64, record: bool) -> MlmcmcReport {
+        let h = GaussianHierarchy::three_level(1);
+        let mut config = MlmcmcConfig::new(vec![n, n / 4, n / 10])
+            .with_burn_in(vec![500, 200, 100]);
+        if record {
+            config = config.recording();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_sequential(&h, &config, &mut rng)
+    }
+
+    #[test]
+    fn telescoping_sum_recovers_finest_mean() {
+        // levels target N(0.6), N(0.9), N(1.0): the telescoping estimate
+        // must approach 1.0, not the coarse 0.6
+        let report = run_three_level(40_000, 1, false);
+        let est = report.expectation()[0];
+        assert!((est - 1.0).abs() < 0.05, "telescoping estimate {est}");
+    }
+
+    #[test]
+    fn correction_means_match_level_differences() {
+        let report = run_three_level(40_000, 2, false);
+        // E[Q_0] ≈ 0.6, E[Q_1 - Q_0] ≈ 0.3, E[Q_2 - Q_1] ≈ 0.1
+        assert!((report.levels[0].mean_correction[0] - 0.6).abs() < 0.05);
+        assert!((report.levels[1].mean_correction[0] - 0.3).abs() < 0.06);
+        assert!((report.levels[2].mean_correction[0] - 0.1).abs() < 0.08);
+    }
+
+    #[test]
+    fn partial_sums_are_cumulative() {
+        let report = run_three_level(5_000, 3, false);
+        let ps = report.partial_sums();
+        assert_eq!(ps.len(), 3);
+        let direct: f64 = report.levels.iter().map(|l| l.mean_correction[0]).sum();
+        assert!((ps[2][0] - direct).abs() < 1e-12);
+        assert!((ps[0][0] - report.levels[0].mean_correction[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_decays_across_levels() {
+        // the coupled corrections have (much) smaller variance than Q_0 —
+        // the heart of the multilevel gain
+        let report = run_three_level(30_000, 4, false);
+        let v0 = report.levels[0].var_correction[0];
+        let v1 = report.levels[1].var_correction[0];
+        let v2 = report.levels[2].var_correction[0];
+        assert!(v1 < v0, "V[Y_1] = {v1} should be below V[Q_0] = {v0}");
+        assert!(v2 < v0, "V[Y_2] = {v2} should be below V[Q_0] = {v0}");
+    }
+
+    #[test]
+    fn fine_levels_have_small_iact() {
+        let report = run_three_level(20_000, 5, false);
+        // coarse RW chain mixes slowly; coupled chains are near-iid
+        assert!(report.levels[1].iact < report.levels[0].iact);
+        assert!(report.levels[1].iact < 3.0);
+    }
+
+    #[test]
+    fn evaluation_counts_respect_subsampling() {
+        let report = run_three_level(2_000, 6, false);
+        // level-0 evals ≫ level-2 evals: each level-1 sample costs ρ = 4
+        // coarse steps, and level 0 also runs its own term
+        assert!(report.levels[0].evaluations > 4 * report.levels[1].evaluations / 2);
+        assert!(report.total_evaluations() > report.levels[2].evaluations);
+        assert!(report.levels[2].evaluations >= 2_000 / 10);
+    }
+
+    #[test]
+    fn recording_retains_samples_and_pairs() {
+        let report = run_three_level(500, 7, true);
+        assert_eq!(report.levels[0].theta_samples.len(), 500);
+        assert!(report.levels[0].correction_pairs.is_empty());
+        assert_eq!(report.levels[1].correction_pairs.len(), 125);
+        // accepted coarse proposals appear as identical pairs (Fig. 14 dots)
+        let identical = report.levels[1]
+            .correction_pairs
+            .iter()
+            .filter(|(c, f)| c == f)
+            .count();
+        assert!(identical > 0, "some coarse proposals must be accepted");
+    }
+
+    #[test]
+    fn without_recording_no_samples_retained() {
+        let report = run_three_level(300, 8, false);
+        assert!(report.levels[0].theta_samples.is_empty());
+        assert!(report.levels[1].correction_pairs.is_empty());
+    }
+
+    #[test]
+    fn single_level_run_is_plain_mcmc() {
+        let h = GaussianHierarchy::three_level(1);
+        let config = MlmcmcConfig::new(vec![20_000]).with_burn_in(vec![500]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = run_sequential(&h, &config, &mut rng);
+        assert_eq!(report.levels.len(), 1);
+        assert!((report.expectation()[0] - 0.6).abs() < 0.05);
+    }
+}

@@ -1,0 +1,29 @@
+//! # uq-mlmcmc
+//!
+//! The paper's primary contribution in library form: multilevel Markov
+//! chain Monte Carlo (Dodwell et al. 2015/2019, paper Algorithm 2) with
+//! the model-agnostic factory interface of MUQ's `MIComponentFactory`.
+//!
+//! * [`factory::LevelFactory`] — supplies per-level sampling problems,
+//!   proposals, subsampling rates and starting points (paper Fig. 7);
+//! * [`coupled`] — the two-level coupled transition kernel: coarse-chain
+//!   states become fine-chain proposals, with the corrected acceptance
+//!   probability of Algorithm 2. The coarse-proposal *source* is abstract
+//!   so the sequential recursion (this crate) and the parallel
+//!   phonebook-mediated version (`uq-parallel`) share the kernel;
+//! * [`estimator`] — the telescoping-sum estimator (paper eq. 2) with
+//!   per-level moments, autocorrelation and cost bookkeeping, and a
+//!   sequential driver reproducing Tables 3 and 4;
+//! * [`allocate`] — optimal `N_l ∝ √(V_l/C_l)` sample allocation;
+//! * [`counting`] — instrumentation wrapper counting model evaluations
+//!   and wall-clock cost per level (the `t_l` columns).
+
+pub mod allocate;
+pub mod counting;
+pub mod coupled;
+pub mod estimator;
+pub mod factory;
+
+pub use coupled::{CoarseProposalSource, CoarseSample, MlChain};
+pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};
+pub use factory::LevelFactory;

@@ -1,0 +1,24 @@
+//! # uq-fem
+//!
+//! A from-scratch Q1 finite-element solver for the paper's Poisson
+//! subsurface-flow model (the role DUNE plays in the original):
+//!
+//! * [`grid`] — structured quadrilateral grids on `[0, 1]²`;
+//! * [`assembly`] — Q1 stiffness assembly for `-∇·(κ∇u) = 0` with
+//!   element-wise constant `κ`, symmetric Dirichlet elimination
+//!   (`u = 0` left, `u = 1` right, natural Neumann top/bottom);
+//! * [`poisson`] — the forward model `θ ↦ u(x_obs)` with the KL-expanded
+//!   log-normal diffusion field, preconditioned-CG solve and warm starts;
+//! * [`problem`] — the Bayesian inverse problem (Gaussian likelihood
+//!   `N(F(θ), σ_F² I)`, prior `N(0, 4I)`) as a
+//!   [`uq_mcmc::SamplingProblem`], plus the three-level hierarchy with
+//!   mesh widths 1/16, 1/64, 1/256 used throughout the paper.
+
+pub mod assembly;
+pub mod grid;
+pub mod poisson;
+pub mod problem;
+
+pub use grid::StructuredGrid;
+pub use poisson::PoissonModel;
+pub use problem::{PoissonHierarchy, PoissonProblem};

@@ -1,0 +1,213 @@
+//! The Poisson forward model `F: θ ↦ u(x_obs)`.
+//!
+//! Maps KL coefficients to the PDE solution evaluated at observation
+//! points, exactly the paper's Section 3.1 setup: the log-diffusion field
+//! is `log κ = Σ_k √λ_k φ_k θ_k` (correlation length 0.15, variance 1,
+//! `m = 113`), discretized with Q1 elements on a structured grid.
+
+use crate::assembly::assemble;
+use crate::grid::StructuredGrid;
+use uq_linalg::dense::DenseMatrix;
+use uq_linalg::solvers::{cg, SolverOptions, SsorPrecond};
+use uq_randfield::KlField2d;
+
+/// The paper's 36 observation points `{2/32, 7/32, 13/32, 19/32, 25/32,
+/// 3/32}²` (used verbatim, including the likely-typo `3/32`).
+pub fn paper_observation_points() -> Vec<(f64, f64)> {
+    let coords = [2.0 / 32.0, 7.0 / 32.0, 13.0 / 32.0, 19.0 / 32.0, 25.0 / 32.0, 3.0 / 32.0];
+    let mut pts = Vec::with_capacity(36);
+    for &x in &coords {
+        for &y in &coords {
+            pts.push((x, y));
+        }
+    }
+    pts
+}
+
+/// QOI evaluation grid of width 1/32 (33×33 points) from the paper:
+/// `Q(θ)_k = κ(x_k, θ)`.
+pub fn paper_qoi_points() -> Vec<(f64, f64)> {
+    let mut pts = Vec::with_capacity(33 * 33);
+    for j in 0..33 {
+        for i in 0..33 {
+            pts.push((i as f64 / 32.0, j as f64 / 32.0));
+        }
+    }
+    pts
+}
+
+/// One level of the Poisson forward-model hierarchy.
+pub struct PoissonModel {
+    grid: StructuredGrid,
+    /// Tabulated KL basis at element centers: `log κ_elems = Φ_e θ`.
+    phi_elements: DenseMatrix,
+    /// Tabulated KL basis at QOI points: `Q(θ) = exp(Φ_q θ)`.
+    phi_qoi: DenseMatrix,
+    obs_points: Vec<(f64, f64)>,
+    opts: SolverOptions,
+    /// Warm-start cache: last solution (same BCs, nearby κ ⇒ few CG iters).
+    last_solution: Option<Vec<f64>>,
+    /// Count of forward solves (cost bookkeeping for the tables).
+    evaluations: usize,
+}
+
+impl PoissonModel {
+    /// Build a model on an `n × n` grid with the given KL field.
+    pub fn new(n: usize, field: &KlField2d) -> Self {
+        let grid = StructuredGrid::new(n);
+        let phi_elements = field.tabulate(&grid.element_centers());
+        let phi_qoi = field.tabulate(&paper_qoi_points());
+        Self {
+            grid,
+            phi_elements,
+            phi_qoi,
+            obs_points: paper_observation_points(),
+            opts: SolverOptions {
+                rel_tol: 1e-8,
+                ..Default::default()
+            },
+            last_solution: None,
+            evaluations: 0,
+        }
+    }
+
+    /// Parameter dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.phi_elements.cols()
+    }
+
+    /// Number of degrees of freedom (nodes).
+    pub fn n_dofs(&self) -> usize {
+        self.grid.n_nodes()
+    }
+
+    pub fn grid(&self) -> &StructuredGrid {
+        &self.grid
+    }
+
+    pub fn observation_points(&self) -> &[(f64, f64)] {
+        &self.obs_points
+    }
+
+    /// Forward solves performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Element-wise diffusion coefficients `κ = exp(Φ_e θ)`.
+    pub fn kappa_elements(&self, theta: &[f64]) -> Vec<f64> {
+        self.phi_elements
+            .matvec(theta)
+            .into_iter()
+            .map(f64::exp)
+            .collect()
+    }
+
+    /// Solve the PDE for parameters `theta`, returning the nodal solution.
+    pub fn solve(&mut self, theta: &[f64]) -> Vec<f64> {
+        assert_eq!(theta.len(), self.dim(), "PoissonModel::solve: wrong dim");
+        let kappa = self.kappa_elements(theta);
+        let sys = assemble(&self.grid, &kappa);
+        let pre = SsorPrecond::new(&sys.matrix, 1.0);
+        let warm = self.last_solution.as_deref();
+        let result = cg(&sys.matrix, &sys.rhs, warm, &pre, self.opts);
+        debug_assert!(result.converged, "CG stalled at residual {}", result.residual);
+        self.evaluations += 1;
+        self.last_solution = Some(result.x.clone());
+        result.x
+    }
+
+    /// Forward map: PDE solution at the observation points.
+    pub fn forward(&mut self, theta: &[f64]) -> Vec<f64> {
+        let u = self.solve(theta);
+        self.obs_points
+            .iter()
+            .map(|&(x, y)| self.grid.interpolate(&u, x, y))
+            .collect()
+    }
+
+    /// The paper's QOI: the diffusion field `κ(x_k, θ)` on the 33×33 QOI
+    /// grid. Does not require a PDE solve.
+    pub fn qoi(&self, theta: &[f64]) -> Vec<f64> {
+        self.phi_qoi
+            .matvec(theta)
+            .into_iter()
+            .map(f64::exp)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field() -> KlField2d {
+        KlField2d::new(0.15, 1.0, 16)
+    }
+
+    #[test]
+    fn observation_points_count() {
+        assert_eq!(paper_observation_points().len(), 36);
+        assert_eq!(paper_qoi_points().len(), 1089);
+    }
+
+    #[test]
+    fn zero_theta_gives_linear_solution() {
+        // θ = 0 ⇒ κ ≡ 1 ⇒ u = x
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        let obs = model.forward(&vec![0.0; 16]);
+        for (o, &(x, _)) in obs.iter().zip(model.observation_points()) {
+            assert!((o - x).abs() < 1e-6, "obs {o} vs x {x}");
+        }
+    }
+
+    #[test]
+    fn qoi_at_zero_theta_is_one() {
+        let field = small_field();
+        let model = PoissonModel::new(16, &field);
+        for q in model.qoi(&vec![0.0; 16]) {
+            assert!((q - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_counts_evals() {
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        let theta: Vec<f64> = (0..16).map(|i| 0.2 * ((i % 5) as f64 - 2.0)).collect();
+        let a = model.forward(&theta);
+        let b = model.forward(&theta);
+        assert_eq!(model.evaluations(), 2);
+        assert!(uq_linalg::vector::max_abs_diff(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn mesh_refinement_converges() {
+        // same θ on h = 1/8, 1/16, 1/32: successive differences shrink
+        let field = small_field();
+        let theta: Vec<f64> = (0..16).map(|i| 0.3 * ((i as f64 * 1.7).sin())).collect();
+        let mut coarse = PoissonModel::new(8, &field);
+        let mut mid = PoissonModel::new(16, &field);
+        let mut fine = PoissonModel::new(32, &field);
+        let oc = coarse.forward(&theta);
+        let om = mid.forward(&theta);
+        let of = fine.forward(&theta);
+        let d1 = uq_linalg::vector::max_abs_diff(&oc, &om);
+        let d2 = uq_linalg::vector::max_abs_diff(&om, &of);
+        assert!(
+            d2 < d1,
+            "refinement should contract: |F8-F16| = {d1}, |F16-F32| = {d2}"
+        );
+    }
+
+    #[test]
+    fn kappa_elements_positive() {
+        let field = small_field();
+        let model = PoissonModel::new(8, &field);
+        let theta: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) * 0.4).collect();
+        for k in model.kappa_elements(&theta) {
+            assert!(k > 0.0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # uq-linalg
+//!
+//! From-scratch numerical linear algebra kernels used by the parallel
+//! multilevel MCMC stack: dense vectors/matrices, Cholesky and symmetric
+//! eigen decompositions, CSR sparse matrices, Krylov solvers (CG, BiCGStab)
+//! with Jacobi/SSOR preconditioners, a radix-2 FFT, Gauss–Legendre
+//! quadrature and scalar root finding.
+//!
+//! The crate is dependency-light by design (only `rayon` for the parallel
+//! sparse kernels) and every routine is exercised by unit and property tests.
+
+pub mod dense;
+pub mod fft;
+pub mod prob;
+pub mod quadrature;
+pub mod roots;
+pub mod solvers;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use fft::Complex;
+pub use solvers::{bicgstab, cg, IterativeResult, SolverOptions};
+pub use sparse::{CooMatrix, CsrMatrix};

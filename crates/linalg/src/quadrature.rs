@@ -1,0 +1,130 @@
+//! Gauss–Legendre quadrature on `[-1, 1]`, used by the Q1 FEM element
+//! integrals and the nodal DG shallow-water scheme.
+
+/// Nodes and weights of the `n`-point Gauss–Legendre rule on `[-1, 1]`.
+///
+/// Computed by Newton iteration on the Legendre polynomial `P_n` with the
+/// Chebyshev-based initial guess; accurate to machine precision for the
+/// small `n` used here.
+///
+/// # Panics
+/// Panics for `n == 0`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n > 0, "gauss_legendre: need at least one node");
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // initial guess (Abramowitz & Stegun 25.4.30 style)
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // evaluate P_n and P_n' by the three-term recurrence
+            let mut p0 = 1.0;
+            let mut p1 = x;
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            // p1 = P_n(x), p0 = P_{n-1}(x)
+            dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+            let dx = p1 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    if n == 1 {
+        nodes[0] = 0.0;
+        weights[0] = 2.0;
+    }
+    (nodes, weights)
+}
+
+/// Map a Gauss–Legendre rule to the interval `[a, b]`.
+pub fn gauss_legendre_on(a: f64, b: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+    let (xs, ws) = gauss_legendre(n);
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    (
+        xs.iter().map(|x| mid + half * x).collect(),
+        ws.iter().map(|w| w * half).collect(),
+    )
+}
+
+/// Integrate `f` over `[a, b]` with an `n`-point rule.
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let (xs, ws) = gauss_legendre_on(a, b, n);
+    xs.iter().zip(&ws).map(|(x, w)| w * f(*x)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in 1..=10 {
+            let (_, ws) = gauss_legendre(n);
+            assert!((ws.iter().sum::<f64>() - 2.0).abs() < 1e-13, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_point_rule_is_exact_for_cubics() {
+        // GL(n) is exact for polynomials of degree 2n-1
+        let val = integrate(|x| x * x * x + x * x, -1.0, 1.0, 2);
+        assert!((val - 2.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn known_two_point_nodes() {
+        let (xs, ws) = gauss_legendre(2);
+        let g = 1.0 / 3.0_f64.sqrt();
+        assert!((xs[0] + g).abs() < 1e-14);
+        assert!((xs[1] - g).abs() < 1e-14);
+        assert!((ws[0] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn known_three_point_nodes() {
+        let (xs, ws) = gauss_legendre(3);
+        assert!((xs[1]).abs() < 1e-14);
+        assert!((xs[2] - (0.6f64).sqrt()).abs() < 1e-13);
+        assert!((ws[1] - 8.0 / 9.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn exactness_degree_2n_minus_1() {
+        for n in 1..=8 {
+            let deg = 2 * n - 1;
+            // integral of x^deg over [0,1] is 1/(deg+1)
+            let val = integrate(|x| x.powi(deg as i32), 0.0, 1.0, n);
+            assert!(
+                (val - 1.0 / (deg + 1) as f64).abs() < 1e-12,
+                "n = {n}, deg = {deg}, got {val}"
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_integrand_converges() {
+        let exact = 1.0 - (-1.0f64).exp(); // ∫₀¹ e^{-x} dx = 1 - e^{-1}
+        let val = integrate(|x| (-x).exp(), 0.0, 1.0, 8);
+        assert!((val - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_mapping() {
+        // ∫₂⁵ x dx = 10.5
+        let val = integrate(|x| x, 2.0, 5.0, 2);
+        assert!((val - 10.5).abs() < 1e-13);
+    }
+}

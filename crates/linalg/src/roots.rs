@@ -1,0 +1,103 @@
+//! Scalar root finding: bracketing bisection with a Newton polish step.
+//! Used to solve the transcendental eigenvalue equations of the exponential
+//! covariance kernel in the Karhunen–Loève expansion.
+
+/// Find a root of `f` in the bracket `[a, b]` by bisection.
+///
+/// Requires `f(a)` and `f(b)` to have opposite signs (a zero endpoint is
+/// returned immediately). Converges to `tol` in the bracket width.
+///
+/// # Panics
+/// Panics if the bracket does not straddle a sign change.
+pub fn bisect(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    let (mut lo, mut hi) = (a, b);
+    let flo = f(lo);
+    if flo == 0.0 {
+        return lo;
+    }
+    let fhi = f(hi);
+    if fhi == 0.0 {
+        return hi;
+    }
+    assert!(
+        flo * fhi < 0.0,
+        "bisect: f({a}) = {flo} and f({b}) = {fhi} do not bracket a root"
+    );
+    let mut flo = flo;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if flo * fm < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fm;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Bisection followed by a few Newton steps with a numerical derivative,
+/// for roots that need tighter-than-bracket accuracy.
+pub fn bisect_refine(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    let mut x = bisect(&f, a, b, 1e-10);
+    for _ in 0..4 {
+        let h = 1e-7 * x.abs().max(1e-7);
+        let df = (f(x + h) - f(x - h)) / (2.0 * h);
+        if df.abs() < 1e-300 {
+            break;
+        }
+        let step = f(x) / df;
+        let xn = x - step;
+        if xn >= a && xn <= b {
+            x = xn;
+        }
+        if step.abs() < 1e-15 {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12), 1.0);
+    }
+
+    #[test]
+    fn refine_hits_machine_precision() {
+        let r = bisect_refine(|x| x.cos(), 1.0, 2.0);
+        assert!((r - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn transcendental_kl_type_equation() {
+        // tan(w) = 2 c w / (c^2 w^2 - 1) style equation from the exponential
+        // kernel; root between 0 and pi for c = 1/0.15.
+        let c = 1.0 / 0.15;
+        let f = |w: f64| (c * c * w * w - 1.0) * w.sin() - 2.0 * c * w * w.cos();
+        let r = bisect_refine(f, 1e-6, std::f64::consts::PI - 1e-6);
+        assert!(f(r).abs() < 1e-8);
+        assert!(r > 0.0 && r < std::f64::consts::PI);
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn rejects_non_bracketing_interval() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,355 @@
+//! Sparse matrices in COO (assembly) and CSR (compute) formats.
+//!
+//! FEM assembly accumulates triplets into a [`CooMatrix`]; the solver phase
+//! converts once to [`CsrMatrix`] which provides serial and Rayon-parallel
+//! matrix–vector products plus the row access the SSOR preconditioner needs.
+
+use rayon::prelude::*;
+
+/// Coordinate-format (triplet) sparse matrix used during assembly.
+///
+/// Duplicate entries are allowed and are summed when converting to CSR —
+/// exactly the semantics element-by-element FEM assembly needs.
+#[derive(Clone, Debug)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of shape `rows × cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Accumulate `value` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "CooMatrix::push: out of bounds");
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly duplicate) triplets.
+    pub fn nnz_stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Convert to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_counts = vec![0usize; self.rows];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if prev == Some((r, c)) {
+                *values.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r] += 1;
+                prev = Some((r, c));
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        for &count in &row_counts {
+            row_ptr.push(row_ptr.last().unwrap() + count);
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(i, j)` — O(row nnz) lookup, intended for tests and setup.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        cols.iter()
+            .position(|&c| c == j)
+            .map_or(0.0, |p| vals[p])
+    }
+
+    /// Diagonal entries.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Serial matrix–vector product `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Serial matrix–vector product into a caller-provided buffer (avoids
+    /// per-iteration allocation in the Krylov loops).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output dimension mismatch");
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut s = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                s += v * x[c];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// Rayon-parallel matrix–vector product (row-partitioned; used on the
+    /// fine FEM levels where rows ≫ cores).
+    pub fn par_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "par_matvec: dimension mismatch");
+        (0..self.rows)
+            .into_par_iter()
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum()
+            })
+            .collect()
+    }
+
+    /// Symmetry check up to `tol` (structure-agnostic; O(nnz · log nnz)).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if (v - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// One forward Gauss–Seidel sweep solving `(D + L) z = r` in place,
+    /// followed by one backward sweep for `(D + U) z = D z_mid` — i.e. the
+    /// SSOR action used as a preconditioner. `omega` is the relaxation
+    /// factor.
+    pub fn ssor_apply(&self, r: &[f64], omega: f64) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols, "ssor_apply: matrix must be square");
+        let n = self.rows;
+        let mut z = vec![0.0; n];
+        // forward sweep: (D/omega + L) z = r
+        for i in 0..n {
+            let (cols, vals) = self.row(i);
+            let mut s = r[i];
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < i {
+                    s -= v * z[c];
+                } else if c == i {
+                    diag = v;
+                }
+            }
+            debug_assert!(diag != 0.0, "ssor: zero diagonal at row {i}");
+            z[i] = omega * s / diag;
+        }
+        // scale by D/omega (the middle factor of SSOR)
+        for i in 0..n {
+            z[i] *= self.get(i, i) / omega;
+        }
+        // backward sweep: (D/omega + U) out = z_mid
+        let mut out = vec![0.0; n];
+        for i in (0..n).rev() {
+            let (cols, vals) = self.row(i);
+            let mut s = z[i];
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c > i {
+                    s -= v * out[c];
+                } else if c == i {
+                    diag = v;
+                }
+            }
+            out[i] = omega * s / diag;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> CsrMatrix {
+        // [2 -1  0]
+        // [-1 2 -1]
+        // [0 -1  2]
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_basic() {
+        let a = small_csr();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn coo_with_empty_rows() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 3, 2.0);
+        let a = coo.to_csr();
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0, 1.0]), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_tridiagonal() {
+        let a = small_csr();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn par_matvec_matches_serial() {
+        let a = small_csr();
+        let x = vec![0.3, -1.2, 2.2];
+        assert_eq!(a.matvec(&x), a.par_matvec(&x));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(5);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(i.matvec(&x), x);
+        assert_eq!(i.nnz(), 5);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(small_csr().is_symmetric(1e-14));
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 1, 1.0);
+        assert!(!coo.to_csr().is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(small_csr().diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ssor_is_exact_for_diagonal_matrix() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        coo.push(2, 2, 8.0);
+        let a = coo.to_csr();
+        let z = a.ssor_apply(&[2.0, 4.0, 8.0], 1.0);
+        for v in &z {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ssor_reduces_residual() {
+        let a = small_csr();
+        let b = vec![1.0, 1.0, 1.0];
+        // one SSOR application should be closer to the solution than zero
+        let z = a.ssor_apply(&b, 1.0);
+        let r = crate::vector::sub(&b, &a.matvec(&z));
+        assert!(crate::vector::norm2(&r) < crate::vector::norm2(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn coo_push_out_of_bounds_panics() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(1, 0, 1.0);
+    }
+}

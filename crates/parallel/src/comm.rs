@@ -1,0 +1,265 @@
+//! In-process rank substrate: the MPI stand-in.
+//!
+//! A [`Universe`] owns one unbounded channel per rank; each rank runs on
+//! its own OS thread with a [`RankCtx`] handle providing point-to-point
+//! `send`, blocking `recv`, predicate-matching `recv_match` (the analogue
+//! of tagged `MPI_Recv`, with out-of-order messages buffered) and
+//! non-blocking `try_recv`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// A delivered message with its sender rank.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    pub from: usize,
+    pub msg: M,
+}
+
+/// Per-rank communication handle.
+pub struct RankCtx<M: Send> {
+    rank: usize,
+    size: usize,
+    rx: Receiver<Envelope<M>>,
+    txs: Vec<Sender<Envelope<M>>>,
+    /// Messages received but not yet matched by `recv_match`.
+    buffer: VecDeque<Envelope<M>>,
+}
+
+impl<M: Send> RankCtx<M> {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to rank `to`. Sends never block (unbounded channels);
+    /// sends to already-exited ranks are silently dropped, mirroring the
+    /// teardown semantics the scheduler relies on.
+    pub fn send(&self, to: usize, msg: M) {
+        assert!(to < self.size, "send: rank {to} out of range");
+        let _ = self.txs[to].send(Envelope {
+            from: self.rank,
+            msg,
+        });
+    }
+
+    /// Blocking receive of the next message (buffered first).
+    pub fn recv(&mut self) -> Envelope<M> {
+        if let Some(env) = self.buffer.pop_front() {
+            return env;
+        }
+        self.rx.recv().expect("RankCtx::recv: universe torn down")
+    }
+
+    /// Blocking receive of the first message satisfying `pred`;
+    /// non-matching messages are buffered in arrival order.
+    pub fn recv_match(&mut self, mut pred: impl FnMut(&Envelope<M>) -> bool) -> Envelope<M> {
+        if let Some(pos) = self.buffer.iter().position(|e| pred(e)) {
+            return self.buffer.remove(pos).unwrap();
+        }
+        loop {
+            let env = self.rx.recv().expect("RankCtx::recv_match: universe torn down");
+            if pred(&env) {
+                return env;
+            }
+            self.buffer.push_back(env);
+        }
+    }
+
+    /// Non-blocking receive (buffered first).
+    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+        if let Some(env) = self.buffer.pop_front() {
+            return Some(env);
+        }
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything currently queued without blocking.
+    pub fn drain(&mut self) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    /// Put a message back at the front of the buffer (it will be the next
+    /// one returned by `recv`/`try_recv`).
+    pub fn unrecv(&mut self, env: Envelope<M>) {
+        self.buffer.push_front(env);
+    }
+}
+
+/// The set of communicating ranks.
+pub struct Universe;
+
+impl Universe {
+    /// Run `n_ranks` ranks, each executing `f(ctx)` on its own thread, and
+    /// gather their return values by rank index.
+    ///
+    /// # Panics
+    /// Propagates panics from rank threads.
+    pub fn run<M, R, F>(n_ranks: usize, f: F) -> Vec<R>
+    where
+        M: Send + 'static,
+        R: Send,
+        F: Fn(RankCtx<M>) -> R + Send + Sync,
+    {
+        assert!(n_ranks > 0, "Universe::run: need at least one rank");
+        let mut txs = Vec::with_capacity(n_ranks);
+        let mut rxs = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let ctx = RankCtx {
+                    rank,
+                    size: n_ranks,
+                    rx,
+                    txs: txs.clone(),
+                    buffer: VecDeque::new(),
+                };
+                let f = &f;
+                handles.push(scope.spawn(move || f(ctx)));
+            }
+            // the senders held by `txs` are dropped only after all ranks
+            // finish, so recv() during execution never observes teardown
+            for (rank, handle) in handles.into_iter().enumerate() {
+                results[rank] = Some(handle.join().expect("rank thread panicked"));
+            }
+        });
+        results.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum TestMsg {
+        Ping(usize),
+        Pong(usize),
+        Data(Vec<f64>),
+    }
+
+    #[test]
+    fn ring_pass() {
+        // each rank sends its rank to the next; everyone receives prev
+        let results = Universe::run(5, |mut ctx: RankCtx<TestMsg>| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            ctx.send(next, TestMsg::Ping(ctx.rank()));
+            let env = ctx.recv();
+            match env.msg {
+                TestMsg::Ping(r) => r,
+                _ => panic!("unexpected"),
+            }
+        });
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_match_buffers_out_of_order() {
+        let results = Universe::run(2, |mut ctx: RankCtx<TestMsg>| {
+            if ctx.rank() == 0 {
+                // send Pong first, then Ping
+                ctx.send(1, TestMsg::Pong(7));
+                ctx.send(1, TestMsg::Ping(3));
+                0
+            } else {
+                // wait for the Ping first even though Pong arrives earlier
+                let ping = ctx.recv_match(|e| matches!(e.msg, TestMsg::Ping(_)));
+                let pong = ctx.recv();
+                match (ping.msg, pong.msg) {
+                    (TestMsg::Ping(a), TestMsg::Pong(b)) => a + b,
+                    _ => panic!("wrong order"),
+                }
+            }
+        });
+        assert_eq!(results[1], 10);
+    }
+
+    #[test]
+    fn gather_to_root() {
+        let results = Universe::run(4, |mut ctx: RankCtx<TestMsg>| {
+            if ctx.rank() == 0 {
+                let mut sum = 0.0;
+                for _ in 0..3 {
+                    if let TestMsg::Data(v) = ctx.recv().msg {
+                        sum += v.iter().sum::<f64>();
+                    }
+                }
+                sum
+            } else {
+                ctx.send(0, TestMsg::Data(vec![ctx.rank() as f64; 2]));
+                0.0
+            }
+        });
+        assert_eq!(results[0], 12.0);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let results = Universe::run(2, |mut ctx: RankCtx<TestMsg>| {
+            if ctx.rank() == 0 {
+                // nothing sent yet
+                let empty = ctx.try_recv().is_none();
+                ctx.send(1, TestMsg::Ping(0));
+                empty
+            } else {
+                let env = ctx.recv();
+                assert_eq!(env.from, 0);
+                true
+            }
+        });
+        assert!(results[0] && results[1]);
+    }
+
+    #[test]
+    fn unrecv_requeues_at_front() {
+        let results = Universe::run(2, |mut ctx: RankCtx<TestMsg>| {
+            if ctx.rank() == 0 {
+                ctx.send(1, TestMsg::Ping(1));
+                ctx.send(1, TestMsg::Ping(2));
+                0
+            } else {
+                let first = ctx.recv();
+                ctx.unrecv(first);
+                let again = ctx.recv();
+                match again.msg {
+                    TestMsg::Ping(v) => v,
+                    _ => panic!(),
+                }
+            }
+        });
+        assert_eq!(results[1], 1);
+    }
+
+    #[test]
+    fn drain_collects_pending() {
+        let results = Universe::run(3, |mut ctx: RankCtx<TestMsg>| {
+            if ctx.rank() == 0 {
+                // wait until both messages are in, then drain
+                let a = ctx.recv();
+                let b = ctx.recv();
+                ctx.unrecv(b);
+                ctx.unrecv(a);
+                ctx.drain().len()
+            } else {
+                ctx.send(0, TestMsg::Ping(ctx.rank()));
+                0
+            }
+        });
+        assert_eq!(results[0], 2);
+    }
+}

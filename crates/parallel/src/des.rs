@@ -1,0 +1,547 @@
+//! Discrete-event simulation of the parallel MLMCMC schedule.
+//!
+//! The live scheduler in [`crate::scheduler`] is bounded by the physical
+//! core count; the paper's scaling studies run up to 1024 ranks. This
+//! module replays the *same scheduling policy* — per-chain burn-in,
+//! one-ready-sample-per-chain coarse-proposal handoffs with subsampling,
+//! per-level completion, optional reassignment of idle chains, and a
+//! serialized phonebook — in virtual time, with model-evaluation
+//! durations drawn from per-level cost distributions (as measured on the
+//! real models). It reproduces the paper's strong-scaling saturation
+//! (burn-in + few-samples-per-chain, Fig. 11) and the weak-scaling
+//! efficiency drop at large rank counts (phonebook/communication
+//! saturation, Fig. 12) without needing the hardware.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use uq_linalg::prob::standard_normal;
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct DesConfig {
+    /// Mean model-evaluation time per level (seconds).
+    pub eval_time: Vec<f64>,
+    /// Lognormal jitter σ applied to each evaluation (0 = deterministic).
+    pub eval_jitter: f64,
+    /// Target samples per level.
+    pub samples_per_level: Vec<usize>,
+    /// Burn-in steps per (re)built chain, per level.
+    pub burn_in: Vec<usize>,
+    /// Subsampling rate ρ_l (serving stride), per level.
+    pub subsampling: Vec<usize>,
+    /// Initial chain count per level.
+    pub chains_per_level: Vec<usize>,
+    /// Ranks per chain group (the paper's worker groups).
+    pub group_size: usize,
+    /// Phonebook service time per coarse-sample handoff (seconds); the
+    /// phonebook is a serialized resource, so this models the
+    /// communication bound seen at the largest rank counts.
+    pub phonebook_service_time: f64,
+    /// Bookkeeping time per recorded correction sample at a per-level
+    /// collector rank (seconds). Each collector is serialized, so a level
+    /// whose samples arrive faster than `1/collector_service_time` makes
+    /// the run collector-bound — the effect behind the paper's weak-
+    /// scaling efficiency drop at 1024 ranks ("significant load on the
+    /// communication infrastructure" from the very fast coarse model).
+    pub collector_service_time: f64,
+    /// Enable idle-chain reassignment (dynamic load balancing).
+    pub load_balancing: bool,
+    pub seed: u64,
+}
+
+impl DesConfig {
+    /// Total rank count: root + phonebook + one collector per level +
+    /// `group_size` ranks per chain.
+    pub fn n_ranks(&self) -> usize {
+        2 + self.samples_per_level.len()
+            + self.group_size * self.chains_per_level.iter().sum::<usize>()
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug)]
+pub struct DesResult {
+    /// Virtual wall-clock time until every level reached its target.
+    pub makespan: f64,
+    /// Model evaluations performed per level.
+    pub evals_per_level: Vec<usize>,
+    /// Chain-group reassignments performed.
+    pub reassignments: usize,
+    /// Fraction of chain-time spent evaluating models (utilization).
+    pub busy_fraction: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Remaining burn-in steps.
+    Burnin(usize),
+    Producing,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChainState {
+    Busy,
+    WaitingToken,
+    Idle,
+}
+
+struct Chain {
+    level: usize,
+    phase: Phase,
+    state: ChainState,
+    steps_since_token: usize,
+    has_ready: bool,
+}
+
+/// Time-ordered event key (f64 with total order for the heap).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct T(f64);
+
+impl Eq for T {}
+
+impl PartialOrd for T {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for T {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Run the simulation.
+///
+/// # Panics
+/// Panics on inconsistent configuration lengths.
+pub fn simulate(config: &DesConfig) -> DesResult {
+    let n_levels = config.samples_per_level.len();
+    assert_eq!(config.eval_time.len(), n_levels);
+    assert_eq!(config.burn_in.len(), n_levels);
+    assert_eq!(config.subsampling.len(), n_levels);
+    assert_eq!(config.chains_per_level.len(), n_levels);
+    assert!(config.group_size >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut chains: Vec<Chain> = Vec::new();
+    for (level, &count) in config.chains_per_level.iter().enumerate() {
+        for _ in 0..count {
+            chains.push(Chain {
+                level,
+                phase: if config.burn_in[level] > 0 {
+                    Phase::Burnin(config.burn_in[level])
+                } else {
+                    Phase::Producing
+                },
+                state: ChainState::Idle,
+                steps_since_token: 0,
+                has_ready: false,
+            });
+        }
+    }
+
+    let mut samples = vec![0usize; n_levels];
+    let mut evals = vec![0usize; n_levels];
+    let mut done = vec![false; n_levels];
+    // chains of level l with a ready (unclaimed) sample
+    let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    // fine chains waiting for a token from level l
+    let mut waiting: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    let mut pb_free_at = 0.0f64;
+    let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
+    let mut busy_time = 0.0f64;
+    let mut reassignments = 0usize;
+    let mut level_count = config.chains_per_level.clone();
+    // steal at most once per this many events (the scheduler's "only at
+    // the timescale of model evaluations" rate limit)
+    let steal_cooldown = 4 * chains.len();
+    let mut events_since_steal = steal_cooldown;
+
+    let eval_duration = |rng: &mut StdRng, level: usize| -> f64 {
+        let base = config.eval_time[level];
+        if config.eval_jitter > 0.0 {
+            base * (config.eval_jitter * standard_normal(rng)).exp()
+        } else {
+            base
+        }
+    };
+
+    // start a step for `chain` at `t_start` (already holding its token)
+    macro_rules! start_step {
+        ($heap:expr, $rng:expr, $chains:expr, $id:expr, $t:expr) => {{
+            let dur = eval_duration($rng, $chains[$id].level);
+            busy_time += dur;
+            $chains[$id].state = ChainState::Busy;
+            $heap.push(Reverse((T($t + dur), $id)));
+        }};
+    }
+
+    // try to begin the next step of `chain` at time `now`: acquire a
+    // coarse token if needed (level > 0), else start immediately.
+    macro_rules! try_begin {
+        ($heap:expr, $rng:expr, $chains:expr, $ready:expr, $waiting:expr, $id:expr, $now:expr) => {{
+            let level = $chains[$id].level;
+            if level == 0 {
+                start_step!($heap, $rng, $chains, $id, $now);
+            } else if let Some(server) = $ready[level - 1].pop_front() {
+                // phonebook handoff (serialized resource)
+                let svc_start = pb_free_at.max($now);
+                pb_free_at = svc_start + config.phonebook_service_time;
+                $chains[server].has_ready = false;
+                // wake the server if it was idling on its ready sample
+                if $chains[server].state == ChainState::Idle {
+                    $chains[server].state = ChainState::Busy;
+                    let sdur = eval_duration($rng, $chains[server].level);
+                    busy_time += sdur;
+                    $heap.push(Reverse((T(pb_free_at + sdur), server)));
+                }
+                start_step!($heap, $rng, $chains, $id, pb_free_at);
+            } else {
+                $chains[$id].state = ChainState::WaitingToken;
+                $waiting[level - 1].push_back($id);
+            }
+        }};
+    }
+
+    // bootstrap: every chain tries to begin its first step at t = 0
+    for id in 0..chains.len() {
+        try_begin!(heap, &mut rng, chains, ready, waiting, id, 0.0);
+    }
+
+    let mut now = 0.0f64;
+    while let Some(Reverse((T(t), id))) = heap.pop() {
+        now = t;
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        let level = chains[id].level;
+        evals[level] += 1;
+        // step finished: bookkeeping
+        match chains[id].phase {
+            Phase::Burnin(remaining) => {
+                if remaining <= 1 {
+                    chains[id].phase = Phase::Producing;
+                    chains[id].steps_since_token = config.subsampling[level].max(1);
+                } else {
+                    chains[id].phase = Phase::Burnin(remaining - 1);
+                }
+            }
+            Phase::Producing => {
+                if !done[level] {
+                    samples[level] += 1;
+                    if samples[level] >= config.samples_per_level[level] {
+                        done[level] = true;
+                    }
+                }
+                chains[id].steps_since_token += 1;
+            }
+        }
+        // token production (not on the finest level)
+        let is_top = level + 1 >= n_levels;
+        if !is_top
+            && chains[id].phase == Phase::Producing
+            && !chains[id].has_ready
+            && chains[id].steps_since_token >= config.subsampling[level].max(1)
+        {
+            chains[id].has_ready = true;
+            chains[id].steps_since_token = 0;
+            if let Some(waiter) = waiting[level].pop_front() {
+                // immediate handoff to a waiting fine chain
+                let svc_start = pb_free_at.max(now);
+                pb_free_at = svc_start + config.phonebook_service_time;
+                chains[id].has_ready = false;
+                chains[id].steps_since_token = 0;
+                start_step!(heap, &mut rng, chains, waiter, pb_free_at);
+            } else {
+                ready[level].push_back(id);
+            }
+        }
+        // decide this chain's next move
+        let keep_producing = !done[level];
+        let need_token_buffer = !is_top && !chains[id].has_ready;
+        if keep_producing || need_token_buffer {
+            try_begin!(heap, &mut rng, chains, ready, waiting, id, now);
+        } else {
+            chains[id].state = ChainState::Idle;
+            // dynamic load balancing: an idle chain (level done, ready
+            // sample parked) moves to a *different* starved level,
+            // keeping at least one serving chain behind if finer levels
+            // still depend on this one
+            if config.load_balancing {
+                let still_needed = (level + 1..n_levels).any(|f| !done[f]) && !is_top;
+                let target = (0..n_levels).find(|&l| {
+                    l != level && !waiting[l].is_empty() && !done.iter().skip(l + 1).all(|&d| d)
+                });
+                if let Some(target) = target {
+                    // donate only if this level's token throughput still
+                    // covers its consumers afterwards: supply is
+                    // (chains-1)/(ρ·t_l) tokens/s, demand is bounded by
+                    // the consumers' intrinsic step rate n_{l+1}/t_{l+1}
+                    // — emigration must not starve the level it leaves
+                    let throughput_safe = if level + 1 < n_levels {
+                        let supply_after = (level_count[level].saturating_sub(1)) as f64
+                            / (config.subsampling[level].max(1) as f64
+                                * config.eval_time[level]);
+                        let demand =
+                            level_count[level + 1] as f64 / config.eval_time[level + 1];
+                        supply_after >= demand
+                    } else {
+                        true
+                    };
+                    if !still_needed || throughput_safe {
+                        // leave the ready queue if we were in it
+                        ready[level].retain(|&c| c != id);
+                        level_count[level] -= 1;
+                        level_count[target] += 1;
+                        chains[id].level = target;
+                        chains[id].phase = if config.burn_in[target] > 0 {
+                            Phase::Burnin(config.burn_in[target])
+                        } else {
+                            Phase::Producing
+                        };
+                        chains[id].has_ready = false;
+                        chains[id].steps_since_token = 0;
+                        reassignments += 1;
+                        try_begin!(heap, &mut rng, chains, ready, waiting, id, now);
+                    }
+                }
+            }
+        }
+        // demand-driven steal (load balancing): when token demand on a
+        // level persistently outstrips its chain count, convert one
+        // *queued* fine chain into a producer for that level — it was
+        // making no progress anyway (the paper's "chains waiting imply
+        // bad machine utilization" signal)
+        if config.load_balancing && events_since_steal >= steal_cooldown {
+            'steal: for l in 0..n_levels {
+                if waiting[l].len() <= level_count[l] {
+                    continue;
+                }
+                // victim: a waiting chain from the finest over-subscribed
+                // queue whose own level keeps at least one chain
+                for m in (l..n_levels).rev() {
+                    let Some(&victim) = waiting[m].back() else {
+                        continue;
+                    };
+                    let victim_level = chains[victim].level;
+                    if victim_level == l || level_count[victim_level] < 2 {
+                        continue;
+                    }
+                    waiting[m].pop_back();
+                    level_count[victim_level] -= 1;
+                    level_count[l] += 1;
+                    chains[victim].level = l;
+                    chains[victim].phase = if config.burn_in[l] > 0 {
+                        Phase::Burnin(config.burn_in[l])
+                    } else {
+                        Phase::Producing
+                    };
+                    chains[victim].has_ready = false;
+                    chains[victim].steps_since_token = 0;
+                    reassignments += 1;
+                    events_since_steal = 0;
+                    try_begin!(heap, &mut rng, chains, ready, waiting, victim, now);
+                    break 'steal;
+                }
+            }
+        }
+        events_since_steal += 1;
+    }
+
+    // collector throughput floor: each level's samples are processed by a
+    // serialized collector rank
+    let collector_floor = config
+        .samples_per_level
+        .iter()
+        .map(|&n| n as f64 * config.collector_service_time)
+        .fold(0.0f64, f64::max);
+    let makespan = now.max(collector_floor);
+    let n_chains = chains.len().max(1);
+    DesResult {
+        makespan,
+        evals_per_level: evals,
+        reassignments,
+        busy_fraction: if makespan > 0.0 {
+            (busy_time / (makespan * n_chains as f64)).min(1.0)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Distribute `n_chains` chains over levels proportionally to the optimal
+/// effort share `√(V_l C_l)` (at least one chain per level).
+pub fn distribute_chains(n_chains: usize, variances: &[f64], costs: &[f64]) -> Vec<usize> {
+    let n_levels = variances.len();
+    assert!(n_chains >= n_levels, "need at least one chain per level");
+    let weights: Vec<f64> = variances
+        .iter()
+        .zip(costs)
+        .map(|(&v, &c)| (v.max(1e-30) * c).sqrt())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = vec![1usize; n_levels];
+    let mut remaining = n_chains - n_levels;
+    // largest-remainder apportionment
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(n_levels);
+    for (l, w) in weights.iter().enumerate() {
+        let share = w / total * remaining as f64;
+        let whole = share.floor() as usize;
+        out[l] += whole;
+        fracs.push((share - whole as f64, l));
+        remaining = remaining.saturating_sub(whole);
+    }
+    fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for &(_, l) in fracs.iter().take(remaining) {
+        out[l] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> DesConfig {
+        DesConfig {
+            eval_time: vec![0.003, 0.045, 0.93],
+            eval_jitter: 0.0,
+            samples_per_level: vec![1000, 100, 10],
+            burn_in: vec![50, 20, 10],
+            subsampling: vec![10, 5, 0],
+            chains_per_level: vec![2, 2, 1],
+            group_size: 1,
+            phonebook_service_time: 1e-4,
+            collector_service_time: 0.0,
+            load_balancing: false,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn simulation_terminates_and_counts_evals() {
+        let r = simulate(&base_config());
+        assert!(r.makespan > 0.0);
+        // level 0 must run at least its own samples plus burn-in
+        assert!(r.evals_per_level[0] >= 1000);
+        // level 1 runs its samples + 10 x tokens for level 2... at least
+        assert!(r.evals_per_level[1] >= 100);
+        assert!(r.evals_per_level[2] >= 10);
+    }
+
+    #[test]
+    fn subsampling_inflates_coarse_evals() {
+        let r = simulate(&base_config());
+        // every level-1 step needs a level-0 token costing ~10 steps
+        assert!(
+            r.evals_per_level[0] as f64 >= 5.0 * r.evals_per_level[1] as f64,
+            "evals {:?}",
+            r.evals_per_level
+        );
+    }
+
+    #[test]
+    fn more_chains_reduce_makespan() {
+        let slow = simulate(&base_config());
+        let mut cfg = base_config();
+        cfg.chains_per_level = vec![8, 4, 2];
+        let fast = simulate(&cfg);
+        assert!(
+            fast.makespan < slow.makespan,
+            "more chains should be faster: {} vs {}",
+            fast.makespan,
+            slow.makespan
+        );
+    }
+
+    #[test]
+    fn strong_scaling_saturates() {
+        // speedup from 4x chains at small chain counts should exceed the
+        // speedup from 4x chains at very large chain counts
+        let mk = |mult: usize| {
+            let mut cfg = base_config();
+            cfg.samples_per_level = vec![2000, 200, 20];
+            cfg.chains_per_level = vec![2 * mult, 1 * mult, 1 * mult];
+            simulate(&cfg).makespan
+        };
+        let s_small = mk(1) / mk(4);
+        let s_large = mk(16) / mk(64);
+        assert!(
+            s_small > s_large,
+            "scaling should saturate: small-range speedup {s_small:.2}, large-range {s_large:.2}"
+        );
+    }
+
+    #[test]
+    fn phonebook_serialization_limits_throughput() {
+        let mut cheap = base_config();
+        cheap.samples_per_level = vec![5000, 50, 5];
+        cheap.eval_time = vec![1e-4, 0.045, 0.93]; // very fast coarse model
+        cheap.chains_per_level = vec![32, 2, 1];
+        cheap.phonebook_service_time = 0.0;
+        let free = simulate(&cheap);
+        cheap.phonebook_service_time = 5e-3;
+        let congested = simulate(&cheap);
+        assert!(
+            congested.makespan > free.makespan,
+            "phonebook contention should slow the run: {} vs {}",
+            congested.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn load_balancing_helps_unbalanced_allocation() {
+        let mut cfg = base_config();
+        cfg.samples_per_level = vec![400, 400, 40];
+        // deliberately starve level 1 of chains
+        cfg.chains_per_level = vec![6, 1, 1];
+        cfg.load_balancing = false;
+        let fixed = simulate(&cfg);
+        cfg.load_balancing = true;
+        let balanced = simulate(&cfg);
+        assert!(
+            balanced.makespan <= fixed.makespan * 1.05,
+            "LB should not hurt: {} vs {}",
+            balanced.makespan,
+            fixed.makespan
+        );
+        assert!(balanced.reassignments > 0, "idle chains should be reassigned");
+    }
+
+    #[test]
+    fn jitter_changes_realization_not_scale() {
+        let mut cfg = base_config();
+        cfg.eval_jitter = 0.3;
+        let a = simulate(&cfg);
+        cfg.seed = 99;
+        let b = simulate(&cfg);
+        assert!(a.makespan > 0.0 && b.makespan > 0.0);
+        assert!((a.makespan / b.makespan) < 3.0 && (b.makespan / a.makespan) < 3.0);
+    }
+
+    #[test]
+    fn busy_fraction_is_sane() {
+        let r = simulate(&base_config());
+        assert!(r.busy_fraction > 0.0 && r.busy_fraction <= 1.0);
+    }
+
+    #[test]
+    fn distribute_chains_respects_weights() {
+        let chains = distribute_chains(10, &[0.15, 0.001, 0.00004], &[0.003, 0.045, 0.93]);
+        assert_eq!(chains.iter().sum::<usize>(), 10);
+        assert!(chains.iter().all(|&c| c >= 1));
+        assert!(chains[0] >= chains[2], "coarse level carries most effort: {chains:?}");
+    }
+
+    #[test]
+    fn ranks_account_for_overhead_and_groups() {
+        let mut cfg = base_config();
+        cfg.group_size = 3;
+        // 2 + 3 collectors + 3*(2+2+1) chains
+        assert_eq!(cfg.n_ranks(), 2 + 3 + 15);
+    }
+}

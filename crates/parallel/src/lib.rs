@@ -1,0 +1,31 @@
+//! # uq-parallel
+//!
+//! The paper's parallelization strategy for multilevel MCMC (Section 4),
+//! rebuilt on an in-process rank substrate:
+//!
+//! * [`comm`] — the message-passing layer standing in for MPI: ranks are
+//!   threads, point-to-point sends are channels, and `recv_match` gives
+//!   the tag-matching receive semantics the role protocols need. The
+//!   substitution is documented in DESIGN.md: Rust MPI bindings are thin
+//!   and no cluster is available, but the scheduling logic and
+//!   communication pattern — the paper's contribution — are preserved.
+//! * [`scheduler`] — the process architecture of paper Fig. 8: one
+//!   **root**, one **phonebook** (sample routing + dynamic load
+//!   balancing), per-level **collectors** (distributed moment
+//!   accumulation) and chain groups (**controllers**) running the coupled
+//!   kernels from `uq-mlmcmc`, with coarse proposals requested across
+//!   controllers through the phonebook.
+//! * [`trace`] — per-rank activity spans (burn-in / model evaluations /
+//!   serving), the data behind the paper's Fig. 9 Gantt chart.
+//! * [`des`] — a discrete-event simulator replaying the same scheduling
+//!   policy in virtual time, used to reproduce the strong/weak scaling
+//!   studies (Figs. 11–12) beyond the physical core count.
+
+pub mod comm;
+pub mod des;
+pub mod scheduler;
+pub mod trace;
+
+pub use comm::{Envelope, RankCtx, Universe};
+pub use scheduler::{run_parallel, ParallelConfig, ParallelReport};
+pub use trace::{SpanKind, TraceEvent, Tracer};

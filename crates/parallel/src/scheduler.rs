@@ -1,0 +1,947 @@
+//! The parallel MLMCMC process architecture (paper Section 4.2, Fig. 8).
+//!
+//! Rank layout: rank 0 is the **root** (launches the run, tracks level
+//! completion, orchestrates shutdown), rank 1 the **phonebook** (routes
+//! coarse-proposal requests to chains holding fresh samples, detects load
+//! imbalance from queued requests vs. unclaimed samples, and reassigns
+//! chain groups — Section 4.3), ranks `2..2+L+1` are per-level
+//! **collectors** (streaming moment accumulation of the telescoping
+//! terms), and the remaining ranks are **controllers**, each running a
+//! level-`l` chain built from the `uq-mlmcmc` coupled kernel. Controllers
+//! on level `l ≥ 1` draw coarse proposals from level-`l-1` controllers
+//! *through the phonebook*; the subsampling rate `ρ_l` is enforced by the
+//! serving side (a chain only announces a sample as ready after `ρ_l`
+//! further steps).
+//!
+//! Shutdown is deadlock-free by construction: every blocking receive also
+//! matches `Poison`/`Shutdown`, the phonebook poisons queued requests
+//! before acknowledging shutdown, and the root only shuts controllers
+//! down after the phonebook acknowledged (so no request can be forwarded
+//! to an already-exited server without its requester also being woken).
+
+use crate::comm::{RankCtx, Universe};
+use crate::trace::{SpanKind, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use uq_mcmc::stats::VectorMoments;
+use uq_mcmc::SamplingProblem;
+use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
+use uq_mlmcmc::coupled::{CoarseProposalSource, CoarseSample, MlChain};
+use uq_mlmcmc::LevelFactory;
+
+/// Messages exchanged between ranks.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Requester → phonebook: need one coarse sample from `level`.
+    CoarseRequest { level: usize, reply_to: usize },
+    /// Phonebook → serving controller: serve `reply_to` one sample.
+    Serve { reply_to: usize },
+    /// Serving controller → requester.
+    CoarseSample {
+        level: usize,
+        theta: Vec<f64>,
+        log_density: f64,
+        qoi: Vec<f64>,
+    },
+    /// Teardown answer to a request that can no longer be served.
+    Poison,
+    /// Controller → phonebook: a fresh subsampled state is available.
+    SampleReady { level: usize },
+    /// Controller → collector: one telescoping-term sample.
+    Correction {
+        level: usize,
+        y: Vec<f64>,
+        theta: Vec<f64>,
+        fine_qoi: Vec<f64>,
+        coarse_qoi: Option<Vec<f64>>,
+    },
+    /// Collector → root: level target reached.
+    LevelDone { level: usize },
+    /// Root → controllers (broadcast): stop producing corrections for
+    /// `level` (keep serving proposals).
+    StopProducing { level: usize },
+    /// Phonebook → controller: dynamic load balancing reassignment.
+    Reassign { level: usize },
+    /// Root → everyone: tear down.
+    Shutdown,
+    /// Phonebook → root: shutdown acknowledged, no more forwards.
+    PhonebookDown,
+    /// Collector → root at shutdown: accumulated statistics.
+    CollectorReport(Box<CollectorData>),
+    /// Controller → root at exit: per-level evaluation counts.
+    ControllerReport { evals: Vec<usize>, eval_secs: Vec<f64> },
+}
+
+/// Data a collector ships back to the root.
+#[derive(Clone, Debug)]
+pub struct CollectorData {
+    pub level: usize,
+    pub n_samples: usize,
+    pub mean: Vec<f64>,
+    pub variance: Vec<f64>,
+    pub theta_samples: Vec<Vec<f64>>,
+    pub correction_pairs: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Configuration of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Target samples per level (`N_l`).
+    pub samples_per_level: Vec<usize>,
+    /// Burn-in steps per chain.
+    pub burn_in: Vec<usize>,
+    /// Initial number of chain groups per level.
+    pub chains_per_level: Vec<usize>,
+    /// Enable the phonebook's dynamic load balancer (Section 4.3).
+    pub load_balancing: bool,
+    /// Retain per-sample traces in the collectors (figures).
+    pub record_samples: bool,
+    /// Base RNG seed (each controller derives its own stream).
+    pub seed: u64,
+}
+
+impl ParallelConfig {
+    pub fn new(samples_per_level: Vec<usize>, chains_per_level: Vec<usize>) -> Self {
+        assert_eq!(samples_per_level.len(), chains_per_level.len());
+        let n = samples_per_level.len();
+        Self {
+            samples_per_level,
+            burn_in: vec![0; n],
+            chains_per_level,
+            load_balancing: true,
+            record_samples: false,
+            seed: 7,
+        }
+    }
+
+    pub fn n_levels(&self) -> usize {
+        self.samples_per_level.len()
+    }
+
+    /// Total ranks: root + phonebook + one collector per level + chains.
+    pub fn n_ranks(&self) -> usize {
+        2 + self.n_levels() + self.chains_per_level.iter().sum::<usize>()
+    }
+
+    fn first_controller_rank(&self) -> usize {
+        2 + self.n_levels()
+    }
+
+    /// Initial level of the controller at `rank`.
+    fn initial_level(&self, rank: usize) -> usize {
+        let mut offset = rank - self.first_controller_rank();
+        for (level, &count) in self.chains_per_level.iter().enumerate() {
+            if offset < count {
+                return level;
+            }
+            offset -= count;
+        }
+        unreachable!("rank beyond controller range")
+    }
+}
+
+/// Per-level results of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelLevelReport {
+    pub level: usize,
+    pub n_samples: usize,
+    /// `E[Q_0]` or `E[Q_l - Q_{l-1}]` per QOI component.
+    pub mean_correction: Vec<f64>,
+    pub var_correction: Vec<f64>,
+    pub evaluations: usize,
+    pub mean_eval_ms: f64,
+    pub theta_samples: Vec<Vec<f64>>,
+    pub correction_pairs: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Results of a parallel MLMCMC run.
+#[derive(Clone, Debug)]
+pub struct ParallelReport {
+    pub levels: Vec<ParallelLevelReport>,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed: f64,
+    pub n_ranks: usize,
+    /// Number of load-balancer reassignments performed.
+    pub reassignments: usize,
+}
+
+impl ParallelReport {
+    /// The telescoping-sum estimate.
+    pub fn expectation(&self) -> Vec<f64> {
+        let dim = self.levels[0].mean_correction.len();
+        let mut total = vec![0.0; dim];
+        for lvl in &self.levels {
+            for (t, m) in total.iter_mut().zip(&lvl.mean_correction) {
+                *t += m;
+            }
+        }
+        total
+    }
+
+    pub fn total_evaluations(&self) -> usize {
+        self.levels.iter().map(|l| l.evaluations).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// remote coarse-proposal source
+// ---------------------------------------------------------------------
+
+/// Shared handle to this rank's communication context (single-threaded
+/// use; the mutex only satisfies `Send` requirements).
+type SharedCtx = Arc<parking_lot::Mutex<RankCtx<Msg>>>;
+
+/// A [`CoarseProposalSource`] that requests subsampled states from
+/// level-`coarse_level` controllers through the phonebook.
+struct RemoteCoarseSource {
+    coarse_level: usize,
+    ctx: SharedCtx,
+    my_rank: usize,
+    stop: Arc<AtomicBool>,
+    /// Lazily constructed coarse problem for the one-off starting-point
+    /// density evaluation.
+    coarse_problem: Box<dyn SamplingProblem>,
+}
+
+impl CoarseProposalSource for RemoteCoarseSource {
+    // Remote sources deliberately ignore the rewind anchor: proposals are
+    // served by independent long-running chains that advance at least the
+    // subsampling stride between requests (and typically much more, since
+    // several requesters share each server), so consecutive proposals are
+    // effectively independent stationary draws — the independence-
+    // proposal limit of the Algorithm-2 acceptance (see uq-mlmcmc's
+    // coupled-kernel docs).
+    fn next_coarse(&mut self, _rng: &mut dyn Rng, _anchor: &CoarseSample) -> CoarseSample {
+        if self.stop.load(Ordering::Relaxed) {
+            return poison_sample();
+        }
+        let mut ctx = self.ctx.lock();
+        ctx.send(
+            PHONEBOOK,
+            Msg::CoarseRequest {
+                level: self.coarse_level,
+                reply_to: self.my_rank,
+            },
+        );
+        let want_level = self.coarse_level;
+        let env = ctx.recv_match(|e| {
+            matches!(
+                &e.msg,
+                Msg::CoarseSample { level, .. } if *level == want_level
+            ) || matches!(e.msg, Msg::Poison | Msg::Shutdown)
+        });
+        match env.msg {
+            Msg::CoarseSample {
+                theta,
+                log_density,
+                qoi,
+                ..
+            } => CoarseSample {
+                theta,
+                log_density,
+                qoi,
+                sub_anchor: None,
+            },
+            Msg::Shutdown => {
+                // let the controller loop observe the shutdown too
+                ctx.unrecv(env);
+                self.stop.store(true, Ordering::Relaxed);
+                poison_sample()
+            }
+            _ => {
+                self.stop.store(true, Ordering::Relaxed);
+                poison_sample()
+            }
+        }
+    }
+
+    fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
+        CoarseSample {
+            theta: theta.to_vec(),
+            log_density: self.coarse_problem.log_density(theta),
+            qoi: self.coarse_problem.qoi(theta),
+            sub_anchor: None,
+        }
+    }
+}
+
+/// Sentinel sample returned during teardown; its `-∞` density forces a
+/// rejection, so the chain state stays valid.
+fn poison_sample() -> CoarseSample {
+    CoarseSample {
+        theta: Vec::new(),
+        log_density: f64::NEG_INFINITY,
+        qoi: Vec::new(),
+        sub_anchor: None,
+    }
+}
+
+const ROOT: usize = 0;
+const PHONEBOOK: usize = 1;
+
+fn collector_rank(level: usize) -> usize {
+    2 + level
+}
+
+// ---------------------------------------------------------------------
+// roles
+// ---------------------------------------------------------------------
+
+fn root_role(
+    ctx: &mut RankCtx<Msg>,
+    config: &ParallelConfig,
+    start: Instant,
+) -> ParallelReport {
+    let n_levels = config.n_levels();
+    let n_controllers = ctx.size() - config.first_controller_rank();
+    let mut done = vec![false; n_levels];
+    // phase 1: wait for all collectors
+    while done.iter().any(|d| !d) {
+        let env = ctx.recv_match(|e| matches!(e.msg, Msg::LevelDone { .. }));
+        if let Msg::LevelDone { level } = env.msg {
+            if !done[level] {
+                done[level] = true;
+                // stop production on that level, keep chains serving
+                for rank in config.first_controller_rank()..ctx.size() {
+                    ctx.send(rank, Msg::StopProducing { level });
+                }
+                // inform the phonebook (load balancer input)
+                ctx.send(PHONEBOOK, Msg::LevelDone { level });
+            }
+        }
+    }
+    // phase 2: shut the phonebook down first and wait for the ack, so no
+    // request can be forwarded to a controller that already exited
+    ctx.send(PHONEBOOK, Msg::Shutdown);
+    let _ = ctx.recv_match(|e| matches!(e.msg, Msg::PhonebookDown));
+    // phase 3: shut everyone else down
+    for level in 0..n_levels {
+        ctx.send(collector_rank(level), Msg::Shutdown);
+    }
+    for rank in config.first_controller_rank()..ctx.size() {
+        ctx.send(rank, Msg::Shutdown);
+    }
+    // phase 4: gather reports
+    let mut collectors: Vec<Option<CollectorData>> = vec![None; n_levels];
+    let mut evals = vec![0usize; n_levels];
+    let mut eval_secs = vec![0.0f64; n_levels];
+    let mut reassignments = 0usize;
+    let mut collector_reports = 0;
+    let mut controller_reports = 0;
+    while collector_reports < n_levels || controller_reports < n_controllers {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::CollectorReport(data) => {
+                let level = data.level;
+                collectors[level] = Some(*data);
+                collector_reports += 1;
+            }
+            Msg::ControllerReport {
+                evals: e,
+                eval_secs: s,
+            } => {
+                for (acc, v) in evals.iter_mut().zip(&e) {
+                    *acc += v;
+                }
+                for (acc, v) in eval_secs.iter_mut().zip(&s) {
+                    *acc += v;
+                }
+                controller_reports += 1;
+            }
+            Msg::Reassign { .. } => reassignments += 1, // phonebook's tally
+            _ => {}
+        }
+    }
+    let levels = collectors
+        .into_iter()
+        .enumerate()
+        .map(|(level, c)| {
+            let c = c.expect("collector report missing");
+            ParallelLevelReport {
+                level,
+                n_samples: c.n_samples,
+                mean_correction: c.mean,
+                var_correction: c.variance,
+                evaluations: evals[level],
+                mean_eval_ms: if evals[level] > 0 {
+                    eval_secs[level] * 1e3 / evals[level] as f64
+                } else {
+                    0.0
+                },
+                theta_samples: c.theta_samples,
+                correction_pairs: c.correction_pairs,
+            }
+        })
+        .collect();
+    ParallelReport {
+        levels,
+        elapsed: start.elapsed().as_secs_f64(),
+        n_ranks: ctx.size(),
+        reassignments,
+    }
+}
+
+fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Tracer) {
+    let n_levels = config.n_levels();
+    let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    let mut level_of: std::collections::HashMap<usize, usize> = (config.first_controller_rank()
+        ..config.first_controller_rank()
+            + config.chains_per_level.iter().sum::<usize>())
+        .map(|rank| (rank, config.initial_level(rank)))
+        .collect();
+    let mut done = vec![false; n_levels];
+    let mut reassignments = 0usize;
+    // inferred per-level sample production intervals (EMA, seconds) used
+    // to rate-limit reassignment at the model-runtime timescale
+    let mut last_ready_at = vec![f64::NAN; n_levels];
+    let mut ema_interval = vec![0.05f64; n_levels];
+    let mut last_reassign_at = -f64::INFINITY;
+    let epoch = Instant::now();
+    loop {
+        let env = ctx.recv();
+        let now = epoch.elapsed().as_secs_f64();
+        match env.msg {
+            Msg::SampleReady { level } => {
+                if !last_ready_at[level].is_nan() {
+                    let dt = now - last_ready_at[level];
+                    ema_interval[level] = 0.8 * ema_interval[level] + 0.2 * dt;
+                }
+                last_ready_at[level] = now;
+                if let Some(reply_to) = pending[level].pop_front() {
+                    ctx.send(env.from, Msg::Serve { reply_to });
+                } else {
+                    ready[level].push_back(env.from);
+                }
+            }
+            Msg::CoarseRequest { level, reply_to } => {
+                if let Some(server) = ready[level].pop_front() {
+                    ctx.send(server, Msg::Serve { reply_to });
+                } else {
+                    pending[level].push_back(reply_to);
+                }
+            }
+            Msg::LevelDone { level } => done[level] = true,
+            Msg::Shutdown => {
+                // no more forwards: poison every queued request, ack, exit
+                for queue in &mut pending {
+                    for reply_to in queue.drain(..) {
+                        ctx.send(reply_to, Msg::Poison);
+                    }
+                }
+                ctx.send(ROOT, Msg::PhonebookDown);
+                return;
+            }
+            _ => {}
+        }
+        // ------- dynamic load balancing (Section 4.3) -------
+        if !config.load_balancing {
+            continue;
+        }
+        // starved level: queued requests nobody is ready to serve
+        let Some(starved) = (0..n_levels).find(|&l| !pending[l].is_empty()) else {
+            continue;
+        };
+        // donor: a level with an idle ready chain that is either finished
+        // or over-provisioned (≥ 2 idle chains), keeping at least one
+        // chain per level that finer levels still depend on
+        let donor_level = (0..n_levels).filter(|&m| m != starved).find(|&m| {
+            let idle = ready[m].len();
+            let group_count = level_of.values().filter(|&&l| l == m).count();
+            let still_needed =
+                (m + 1..n_levels).any(|f| !done[f]) || !done[m];
+            if done[m] && pending[m].is_empty() {
+                idle >= 1 && (!still_needed || group_count >= 2)
+            } else {
+                idle >= 2 && group_count >= 2
+            }
+        });
+        let Some(donor_level) = donor_level else {
+            continue;
+        };
+        // rate-limit at the timescale of the slower level's evaluations
+        let cooldown = ema_interval[starved].max(ema_interval[donor_level]) * 2.0;
+        if now - last_reassign_at < cooldown {
+            continue;
+        }
+        if let Some(rank) = ready[donor_level].pop_front() {
+            level_of.insert(rank, starved);
+            ctx.send(rank, Msg::Reassign { level: starved });
+            // tell root so the final report counts reassignments
+            ctx.send(ROOT, Msg::Reassign { level: starved });
+            tracer.mark(
+                rank,
+                SpanKind::Reassign {
+                    from: donor_level,
+                    to: starved,
+                },
+            );
+            reassignments += 1;
+            let _ = reassignments;
+            last_reassign_at = now;
+        }
+    }
+}
+
+fn collector_role(ctx: &mut RankCtx<Msg>, level: usize, config: &ParallelConfig) {
+    let target = config.samples_per_level[level];
+    let mut moments: Option<VectorMoments> = None;
+    let mut count = 0usize;
+    let mut theta_samples = Vec::new();
+    let mut correction_pairs = Vec::new();
+    let mut done_sent = target == 0;
+    if done_sent {
+        ctx.send(ROOT, Msg::LevelDone { level });
+    }
+    loop {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::Correction {
+                level: l,
+                y,
+                theta,
+                fine_qoi,
+                coarse_qoi,
+            } if l == level => {
+                if count < target {
+                    moments
+                        .get_or_insert_with(|| VectorMoments::new(y.len()))
+                        .push(&y);
+                    count += 1;
+                    if config.record_samples {
+                        theta_samples.push(theta);
+                        if let Some(cq) = coarse_qoi {
+                            correction_pairs.push((cq, fine_qoi));
+                        }
+                    }
+                    if count == target && !done_sent {
+                        done_sent = true;
+                        ctx.send(ROOT, Msg::LevelDone { level });
+                    }
+                }
+            }
+            Msg::Shutdown => {
+                let (mean, variance) = match &moments {
+                    Some(m) => (m.mean(), m.variance()),
+                    None => (Vec::new(), Vec::new()),
+                };
+                ctx.send(
+                    ROOT,
+                    Msg::CollectorReport(Box::new(CollectorData {
+                        level,
+                        n_samples: count,
+                        mean,
+                        variance,
+                        theta_samples,
+                        correction_pairs,
+                    })),
+                );
+                return;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Everything a controller needs to (re)build its chain on a level.
+struct ControllerHarness<'a> {
+    factory: &'a dyn LevelFactory,
+    shared: SharedCtx,
+    rank: usize,
+    stop: Arc<AtomicBool>,
+    counters: Vec<EvalCounter>,
+}
+
+impl ControllerHarness<'_> {
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        Box::new(CountingProblem::new(
+            self.factory.problem(level),
+            self.counters[level].clone(),
+        ))
+    }
+
+    fn build_chain(&self, level: usize) -> MlChain {
+        if level == 0 {
+            MlChain::base(
+                self.problem(0),
+                self.factory.proposal(0),
+                self.factory.starting_point(0),
+            )
+        } else {
+            let coarse_dim = self.factory.starting_point(level - 1).len();
+            let mut theta0 = self.factory.starting_point(level);
+            theta0[..coarse_dim].copy_from_slice(&self.factory.starting_point(level - 1));
+            let source = RemoteCoarseSource {
+                coarse_level: level - 1,
+                ctx: Arc::clone(&self.shared),
+                my_rank: self.rank,
+                stop: Arc::clone(&self.stop),
+                coarse_problem: self.problem(level - 1),
+            };
+            MlChain::coupled(
+                level,
+                self.problem(level),
+                Box::new(source),
+                self.factory.proposal(level),
+                coarse_dim,
+                theta0,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn controller_role(
+    ctx: RankCtx<Msg>,
+    factory: &dyn LevelFactory,
+    config: &ParallelConfig,
+    tracer: &Tracer,
+    initial_level: usize,
+) {
+    let rank = ctx.rank();
+    let n_levels = config.n_levels();
+    let shared: SharedCtx = Arc::new(parking_lot::Mutex::new(ctx));
+    let stop = Arc::new(AtomicBool::new(false));
+    let harness = ControllerHarness {
+        factory,
+        shared: Arc::clone(&shared),
+        rank,
+        stop: Arc::clone(&stop),
+        counters: (0..n_levels).map(|_| EvalCounter::new()).collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(rank as u64 * 0x9E37_79B9));
+    let mut done_levels = vec![false; n_levels];
+
+    'levels: loop {
+        // (re)build on the current level
+        let level = {
+            // the level may have been changed by a Reassign handled below
+            LEVEL.with(|l| l.get()).unwrap_or(initial_level)
+        };
+        let mut chain = harness.build_chain(level);
+        // burn-in (Fig. 9's yellow span)
+        let burn_start = tracer.now();
+        for _ in 0..config.burn_in[level] {
+            chain.step(&mut rng);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        tracer.record(rank, SpanKind::Burnin { level }, burn_start, tracer.now());
+
+        let rho = factory.subsampling_rate(level).max(1);
+        let is_top = level + 1 >= n_levels;
+        let mut producing = !done_levels[level];
+        let mut pending_serves: VecDeque<usize> = VecDeque::new();
+        let mut steps_since_serve = rho; // warm chain counts as ready
+        let mut announced = false;
+
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break 'levels;
+            }
+            // handle everything already queued, without blocking
+            loop {
+                let env = {
+                    let mut c = shared.lock();
+                    c.try_recv()
+                };
+                let Some(env) = env else { break };
+                match env.msg {
+                    Msg::Serve { reply_to } => pending_serves.push_back(reply_to),
+                    Msg::StopProducing { level: l } => {
+                        done_levels[l] = true;
+                        if l == level {
+                            producing = false;
+                        }
+                    }
+                    Msg::Reassign { level: new_level } => {
+                        // abandon this chain, rebuild on the new level
+                        LEVEL.with(|l| l.set(Some(new_level)));
+                        // poison anyone we promised to serve
+                        let c = shared.lock();
+                        for reply_to in pending_serves.drain(..) {
+                            c.send(reply_to, Msg::Poison);
+                        }
+                        drop(c);
+                        continue 'levels;
+                    }
+                    Msg::Shutdown => {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            if stop.load(Ordering::Relaxed) {
+                break 'levels;
+            }
+
+            let want_step = producing
+                || !pending_serves.is_empty()
+                || (!is_top && (!announced || steps_since_serve < rho));
+            if want_step {
+                let eval_start = tracer.now();
+                chain.step(&mut rng);
+                tracer.record(rank, SpanKind::Eval { level }, eval_start, tracer.now());
+                if stop.load(Ordering::Relaxed) {
+                    break 'levels;
+                }
+                steps_since_serve += 1;
+                if producing {
+                    let fine_qoi = chain.state().qoi.clone();
+                    let (y, coarse_qoi) = match chain.last_coarse() {
+                        None => (fine_qoi.clone(), None),
+                        Some(c) => (
+                            fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
+                            Some(c.qoi.clone()),
+                        ),
+                    };
+                    let c = shared.lock();
+                    c.send(
+                        collector_rank(level),
+                        Msg::Correction {
+                            level,
+                            y,
+                            theta: chain.state().theta.clone(),
+                            fine_qoi,
+                            coarse_qoi,
+                        },
+                    );
+                }
+                if steps_since_serve >= rho {
+                    if let Some(reply_to) = pending_serves.pop_front() {
+                        let s = chain.state();
+                        let c = shared.lock();
+                        c.send(
+                            reply_to,
+                            Msg::CoarseSample {
+                                level,
+                                theta: s.theta.clone(),
+                                log_density: s.log_density,
+                                qoi: s.qoi.clone(),
+                            },
+                        );
+                        drop(c);
+                        steps_since_serve = 0;
+                        announced = false;
+                    } else if !announced && !is_top {
+                        let c = shared.lock();
+                        c.send(PHONEBOOK, Msg::SampleReady { level });
+                        drop(c);
+                        announced = true;
+                    }
+                }
+            } else {
+                // idle: block for the next message (handled next iteration)
+                let env = {
+                    let mut c = shared.lock();
+                    c.recv()
+                };
+                let mut c = shared.lock();
+                c.unrecv(env);
+            }
+        }
+    }
+
+    // teardown: poison outstanding serve requests, then report
+    let mut c = shared.lock();
+    for env in c.drain() {
+        if let Msg::Serve { reply_to } = env.msg {
+            c.send(reply_to, Msg::Poison);
+        }
+    }
+    let evals: Vec<usize> = harness.counters.iter().map(EvalCounter::evaluations).collect();
+    let eval_secs: Vec<f64> = harness.counters.iter().map(EvalCounter::total_secs).collect();
+    c.send(ROOT, Msg::ControllerReport { evals, eval_secs });
+}
+
+thread_local! {
+    /// Level override set by a `Reassign` (thread-local because each
+    /// controller owns exactly one thread).
+    static LEVEL: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Run parallel MLMCMC over the factory's hierarchy.
+///
+/// Spawns `config.n_ranks()` rank threads (root, phonebook, collectors,
+/// controllers), executes the full schedule and returns the assembled
+/// report. `tracer` may be [`Tracer::disabled`].
+pub fn run_parallel(
+    factory: &dyn LevelFactory,
+    config: &ParallelConfig,
+    tracer: &Tracer,
+) -> ParallelReport {
+    assert!(
+        config.n_levels() <= factory.n_levels(),
+        "run_parallel: more levels configured than the factory provides"
+    );
+    assert!(
+        config.chains_per_level.iter().all(|&c| c >= 1),
+        "run_parallel: every level needs at least one chain"
+    );
+    let start = Instant::now();
+    let results = Universe::run(config.n_ranks(), |mut ctx: RankCtx<Msg>| {
+        let rank = ctx.rank();
+        if rank == ROOT {
+            Some(root_role(&mut ctx, config, start))
+        } else if rank == PHONEBOOK {
+            phonebook_role(&mut ctx, config, tracer);
+            None
+        } else if rank < config.first_controller_rank() {
+            collector_role(&mut ctx, rank - 2, config);
+            None
+        } else {
+            LEVEL.with(|l| l.set(None));
+            let level = config.initial_level(rank);
+            controller_role(ctx, factory, config, tracer, level);
+            None
+        }
+    });
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("root must produce a report")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uq_linalg::prob::isotropic_gaussian_logpdf;
+    use uq_mcmc::proposal::GaussianRandomWalk;
+    use uq_mcmc::Proposal;
+
+    /// Analytic Gaussian hierarchy (same targets as the core test suite).
+    struct GaussianHierarchy {
+        means: Vec<f64>,
+        sds: Vec<f64>,
+    }
+
+    impl GaussianHierarchy {
+        fn three_level() -> Self {
+            Self {
+                means: vec![0.6, 0.9, 1.0],
+                sds: vec![0.65, 0.55, 0.5],
+            }
+        }
+    }
+
+    struct Target {
+        mean: f64,
+        sd: f64,
+    }
+
+    impl SamplingProblem for Target {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn log_density(&mut self, theta: &[f64]) -> f64 {
+            isotropic_gaussian_logpdf(theta, &[self.mean], self.sd)
+        }
+    }
+
+    impl LevelFactory for GaussianHierarchy {
+        fn n_levels(&self) -> usize {
+            self.means.len()
+        }
+        fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+            Box::new(Target {
+                mean: self.means[level],
+                sd: self.sds[level],
+            })
+        }
+        fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+            Box::new(GaussianRandomWalk::new(0.8))
+        }
+        fn subsampling_rate(&self, _level: usize) -> usize {
+            3
+        }
+        fn starting_point(&self, _level: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+    }
+
+    #[test]
+    fn two_level_parallel_run_completes() {
+        let h = GaussianHierarchy {
+            means: vec![0.5, 1.0],
+            sds: vec![0.6, 0.5],
+        };
+        let config = ParallelConfig::new(vec![2000, 800], vec![1, 1]);
+        let report = run_parallel(&h, &config, &Tracer::disabled());
+        assert_eq!(report.levels[0].n_samples, 2000);
+        assert_eq!(report.levels[1].n_samples, 800);
+        assert!(report.total_evaluations() >= 2800);
+    }
+
+    #[test]
+    fn three_level_estimate_matches_truth() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = ParallelConfig::new(vec![30_000, 4_000, 1_500], vec![2, 2, 1]);
+        config.burn_in = vec![300, 100, 50];
+        let report = run_parallel(&h, &config, &Tracer::disabled());
+        let est = report.expectation()[0];
+        assert!(
+            (est - 1.0).abs() < 0.08,
+            "parallel telescoping estimate {est}"
+        );
+        // correction means per level
+        assert!((report.levels[0].mean_correction[0] - 0.6).abs() < 0.08);
+        assert!((report.levels[1].mean_correction[0] - 0.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn load_balancer_disabled_still_completes() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = ParallelConfig::new(vec![3000, 600, 200], vec![1, 1, 1]);
+        config.load_balancing = false;
+        let report = run_parallel(&h, &config, &Tracer::disabled());
+        assert_eq!(report.reassignments, 0);
+        assert_eq!(report.levels[2].n_samples, 200);
+    }
+
+    #[test]
+    fn recording_returns_samples_and_pairs() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = ParallelConfig::new(vec![400, 150, 60], vec![1, 1, 1]);
+        config.record_samples = true;
+        let report = run_parallel(&h, &config, &Tracer::disabled());
+        assert_eq!(report.levels[0].theta_samples.len(), 400);
+        assert_eq!(report.levels[1].correction_pairs.len(), 150);
+        assert!(report.levels[0].correction_pairs.is_empty());
+        // accepted coarse proposals appear as identical pairs
+        let identical = report.levels[1]
+            .correction_pairs
+            .iter()
+            .filter(|(c, f)| c == f)
+            .count();
+        assert!(identical > 0);
+    }
+
+    #[test]
+    fn tracer_captures_burnin_and_evals() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = ParallelConfig::new(vec![300, 100, 40], vec![1, 1, 1]);
+        config.burn_in = vec![50, 20, 10];
+        let tracer = Tracer::new();
+        let _ = run_parallel(&h, &config, &tracer);
+        let events = tracer.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, SpanKind::Burnin { .. })));
+        assert!(events.iter().any(|e| matches!(e.kind, SpanKind::Eval { .. })));
+    }
+
+    #[test]
+    fn extra_chains_on_coarse_level_share_load() {
+        let h = GaussianHierarchy::three_level();
+        let config = ParallelConfig::new(vec![4000, 800, 300], vec![3, 1, 1]);
+        let report = run_parallel(&h, &config, &Tracer::disabled());
+        assert_eq!(report.levels[0].n_samples, 4000);
+        assert!(report.expectation()[0].is_finite());
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-rank activity tracing — the data behind the paper's Fig. 9
+//! load-balancing Gantt chart (green = model evaluations, yellow =
+//! burn-in).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What a rank was doing during a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A forward-model evaluation on `level`.
+    Eval { level: usize },
+    /// Chain burn-in on `level` (Fig. 9's yellow boxes).
+    Burnin { level: usize },
+    /// Serving a coarse-proposal request.
+    Serve { level: usize },
+    /// Reassigned to a new level by the load balancer.
+    Reassign { from: usize, to: usize },
+}
+
+/// One recorded activity span.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    pub rank: usize,
+    pub kind: SpanKind,
+    /// Seconds since the tracer epoch.
+    pub start: f64,
+    pub end: f64,
+}
+
+/// Shared, thread-safe trace sink.
+#[derive(Clone)]
+pub struct Tracer {
+    epoch: Instant,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    enabled: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+            enabled: true,
+        }
+    }
+
+    /// A tracer that drops everything (zero overhead in hot paths).
+    pub fn disabled() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+            enabled: false,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the epoch.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Record a span with explicit timestamps.
+    pub fn record(&self, rank: usize, kind: SpanKind, start: f64, end: f64) {
+        if self.enabled {
+            self.events.lock().push(TraceEvent {
+                rank,
+                kind,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Record an instantaneous marker.
+    pub fn mark(&self, rank: usize, kind: SpanKind) {
+        let t = self.now();
+        self.record(rank, kind, t, t);
+    }
+
+    /// Time a closure and record it as a span.
+    pub fn span<R>(&self, rank: usize, kind: SpanKind, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = self.now();
+        let out = f();
+        self.record(rank, kind, start, self.now());
+        out
+    }
+
+    /// Snapshot of all recorded events (sorted by start time).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut evts = self.events.lock().clone();
+        evts.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        evts
+    }
+
+    /// Render a CSV (`rank,kind,level,start,end`) for plotting Fig. 9.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("rank,kind,level,start,end\n");
+        for e in self.events() {
+            let (kind, level) = match e.kind {
+                SpanKind::Eval { level } => ("eval", level as isize),
+                SpanKind::Burnin { level } => ("burnin", level as isize),
+                SpanKind::Serve { level } => ("serve", level as isize),
+                SpanKind::Reassign { to, .. } => ("reassign", to as isize),
+            };
+            out.push_str(&format!("{},{},{},{:.6},{:.6}\n", e.rank, kind, level, e.start, e.end));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans() {
+        let t = Tracer::new();
+        t.record(3, SpanKind::Eval { level: 1 }, 0.0, 0.5);
+        t.record(2, SpanKind::Burnin { level: 0 }, 0.1, 0.2);
+        let evts = t.events();
+        assert_eq!(evts.len(), 2);
+        assert_eq!(evts[0].rank, 3); // sorted by start
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let t = Tracer::disabled();
+        t.record(0, SpanKind::Eval { level: 0 }, 0.0, 1.0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn span_times_closure() {
+        let t = Tracer::new();
+        let v = t.span(1, SpanKind::Serve { level: 2 }, || 42);
+        assert_eq!(v, 42);
+        let evts = t.events();
+        assert_eq!(evts.len(), 1);
+        assert!(evts[0].end >= evts[0].start);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = Tracer::new();
+        t.record(0, SpanKind::Eval { level: 2 }, 0.0, 1.0);
+        t.record(1, SpanKind::Reassign { from: 0, to: 2 }, 1.0, 1.0);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "rank,kind,level,start,end");
+        assert!(lines[1].starts_with("0,eval,2,"));
+    }
+
+    #[test]
+    fn tracer_is_shareable_across_threads() {
+        let t = Tracer::new();
+        std::thread::scope(|s| {
+            for rank in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    t.mark(rank, SpanKind::Burnin { level: 0 });
+                });
+            }
+        });
+        assert_eq!(t.events().len(), 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Analytic Karhunen–Loève expansion of the exponential covariance kernel.
+//!
+//! For the 1-D kernel `C(s,t) = exp(-|s-t|/ℓ)` on `[-a, a]` the eigenpairs
+//! are known in closed form up to the roots of transcendental equations
+//! (Ghanem & Spanos): with `c = 1/ℓ`,
+//!
+//! * cosine modes: `ω` solves `c = ω·tan(ω a)`, eigenfunction
+//!   `φ(t) = cos(ω t) / √(a + sin(2ωa)/(2ω))`,
+//! * sine modes: `ω` solves `ω = -c·tan(ω a)`, eigenfunction
+//!   `φ(t) = sin(ω t) / √(a - sin(2ωa)/(2ω))`,
+//!
+//! both with eigenvalue `λ = 2c / (ω² + c²)`. We work on `[0, 1]` via the
+//! shift `t = x - 1/2`, `a = 1/2`. The 2-D separable exponential kernel
+//! `exp(-(|Δx| + |Δy|)/ℓ)` has tensor-product eigenpairs
+//! `λ_{ij} = λ_i λ_j`, `φ_{ij}(x, y) = φ_i(x) φ_j(y)`; [`KlField2d`]
+//! truncates to the `m` largest, matching the paper's `m = 113` setup.
+
+use uq_linalg::dense::DenseMatrix;
+use uq_linalg::roots::bisect_refine;
+
+/// Parity of a 1-D KL mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModeKind {
+    Cosine,
+    Sine,
+}
+
+/// One eigenpair of the 1-D exponential kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Kl1dMode {
+    /// Frequency `ω` of the eigenfunction.
+    pub omega: f64,
+    /// Eigenvalue `λ` (unit-variance kernel).
+    pub lambda: f64,
+    /// Cosine (even) or sine (odd) about the interval midpoint.
+    pub kind: ModeKind,
+    /// Normalization constant of the eigenfunction.
+    norm: f64,
+}
+
+/// 1-D KL expansion of `exp(-|s-t|/ℓ)` on `[0, 1]` (unit variance).
+#[derive(Clone, Debug)]
+pub struct Kl1d {
+    corr_len: f64,
+    modes: Vec<Kl1dMode>,
+}
+
+const HALF: f64 = 0.5; // interval half-width a for [0,1]
+
+impl Kl1d {
+    /// Compute the `n_modes` leading eigenpairs for correlation length
+    /// `corr_len`.
+    ///
+    /// # Panics
+    /// Panics if `corr_len <= 0` or `n_modes == 0`.
+    pub fn new(corr_len: f64, n_modes: usize) -> Self {
+        assert!(corr_len > 0.0, "Kl1d: correlation length must be positive");
+        assert!(n_modes > 0, "Kl1d: need at least one mode");
+        let c = 1.0 / corr_len;
+        let a = HALF;
+        let pi = std::f64::consts::PI;
+        let mut modes = Vec::with_capacity(n_modes);
+        for n in 0..n_modes {
+            let mode = if n % 2 == 0 {
+                // cosine mode k = n/2: root of c - w tan(w a) in (kπ/a, (k+1/2)π/a)
+                let k = (n / 2) as f64;
+                let lo = k * pi / a + 1e-9;
+                let hi = (k + 0.5) * pi / a - 1e-9;
+                let f = |w: f64| c - w * (w * a).tan();
+                let omega = bisect_refine(f, lo, hi);
+                let norm = (a + (2.0 * omega * a).sin() / (2.0 * omega)).sqrt();
+                Kl1dMode {
+                    omega,
+                    lambda: 2.0 * c / (omega * omega + c * c),
+                    kind: ModeKind::Cosine,
+                    norm,
+                }
+            } else {
+                // sine mode k = (n-1)/2: root of w + c tan(w a) in ((k+1/2)π/a, (k+1)π/a)
+                let k = ((n - 1) / 2) as f64;
+                let lo = (k + 0.5) * pi / a + 1e-9;
+                let hi = (k + 1.0) * pi / a - 1e-9;
+                let f = |w: f64| w + c * (w * a).tan();
+                let omega = bisect_refine(f, lo, hi);
+                let norm = (a - (2.0 * omega * a).sin() / (2.0 * omega)).sqrt();
+                Kl1dMode {
+                    omega,
+                    lambda: 2.0 * c / (omega * omega + c * c),
+                    kind: ModeKind::Sine,
+                    norm,
+                }
+            };
+            modes.push(mode);
+        }
+        Self { corr_len, modes }
+    }
+
+    pub fn corr_len(&self) -> f64 {
+        self.corr_len
+    }
+
+    pub fn n_modes(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Eigenvalue of mode `k` (decreasing in `k`).
+    pub fn lambda(&self, k: usize) -> f64 {
+        self.modes[k].lambda
+    }
+
+    /// Evaluate eigenfunction `φ_k` at `x ∈ [0, 1]`.
+    pub fn eval(&self, k: usize, x: f64) -> f64 {
+        let m = &self.modes[k];
+        let t = x - 0.5;
+        match m.kind {
+            ModeKind::Cosine => (m.omega * t).cos() / m.norm,
+            ModeKind::Sine => (m.omega * t).sin() / m.norm,
+        }
+    }
+
+    /// Mercer partial sum `Σ_k λ_k φ_k(s) φ_k(t)` — converges to the kernel.
+    pub fn mercer_sum(&self, s: f64, t: f64) -> f64 {
+        (0..self.n_modes())
+            .map(|k| self.lambda(k) * self.eval(k, s) * self.eval(k, t))
+            .sum()
+    }
+}
+
+/// One retained 2-D tensor mode.
+#[derive(Clone, Copy, Debug)]
+pub struct Mode2d {
+    /// 2-D eigenvalue `σ² λ_i λ_j`.
+    pub lambda: f64,
+    /// 1-D mode index in `x`.
+    pub i: usize,
+    /// 1-D mode index in `y`.
+    pub j: usize,
+}
+
+/// Truncated 2-D KL expansion of a stationary Gaussian field
+/// `log κ(x, θ) = Σ_k √λ_k φ_k(x) θ_k`, `θ_k ~ N(0, 1)` iid.
+#[derive(Clone, Debug)]
+pub struct KlField2d {
+    kl1d: Kl1d,
+    variance: f64,
+    modes: Vec<Mode2d>,
+}
+
+impl KlField2d {
+    /// Build the `m`-term expansion for correlation length `corr_len` and
+    /// (marginal) variance `variance`.
+    ///
+    /// The paper's Poisson problem uses `corr_len = 0.15`, `variance = 1`,
+    /// `m = 113`.
+    pub fn new(corr_len: f64, variance: f64, m: usize) -> Self {
+        assert!(variance > 0.0, "KlField2d: variance must be positive");
+        assert!(m > 0, "KlField2d: need at least one mode");
+        // enough 1-D modes that the top-m products are exact: the m-th
+        // largest product never needs 1-D index beyond m (λ decreasing).
+        let n1d = (m as f64).sqrt().ceil() as usize * 2 + 4;
+        let kl1d = Kl1d::new(corr_len, n1d.min(m + 1));
+        let n = kl1d.n_modes();
+        let mut all: Vec<Mode2d> = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                all.push(Mode2d {
+                    lambda: variance * kl1d.lambda(i) * kl1d.lambda(j),
+                    i,
+                    j,
+                });
+            }
+        }
+        all.sort_by(|a, b| b.lambda.partial_cmp(&a.lambda).unwrap());
+        all.truncate(m);
+        Self {
+            kl1d,
+            variance,
+            modes: all,
+        }
+    }
+
+    /// Number of retained modes `m` (the stochastic dimension).
+    pub fn dim(&self) -> usize {
+        self.modes.len()
+    }
+
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    pub fn modes(&self) -> &[Mode2d] {
+        &self.modes
+    }
+
+    /// Evaluate the `k`-th (λ-scaled) basis function `√λ_k φ_k(x, y)`.
+    pub fn basis(&self, k: usize, x: f64, y: f64) -> f64 {
+        let m = &self.modes[k];
+        m.lambda.sqrt() * self.kl1d.eval(m.i, x) * self.kl1d.eval(m.j, y)
+    }
+
+    /// Evaluate `log κ(x, y; θ) = Σ_k √λ_k φ_k(x, y) θ_k`.
+    ///
+    /// # Panics
+    /// Panics if `theta.len() != self.dim()`.
+    pub fn log_kappa(&self, theta: &[f64], x: f64, y: f64) -> f64 {
+        assert_eq!(theta.len(), self.dim(), "log_kappa: wrong parameter dimension");
+        (0..self.dim()).map(|k| self.basis(k, x, y) * theta[k]).sum()
+    }
+
+    /// Evaluate `κ = exp(log κ)`.
+    pub fn kappa(&self, theta: &[f64], x: f64, y: f64) -> f64 {
+        self.log_kappa(theta, x, y).exp()
+    }
+
+    /// Tabulate the λ-scaled basis at a list of points, returning the
+    /// `n_points × m` matrix `Φ` with `Φ θ = log κ` at those points.
+    ///
+    /// This is the fast path used by the FEM forward model: the basis is
+    /// tabulated once per mesh, and each sample costs one mat-vec.
+    pub fn tabulate(&self, points: &[(f64, f64)]) -> DenseMatrix {
+        DenseMatrix::from_fn(points.len(), self.dim(), |p, k| {
+            self.basis(k, points[p].0, points[p].1)
+        })
+    }
+
+    /// Truncated pointwise variance `Σ_k λ_k φ_k(x,y)²` — approaches
+    /// `variance` as `m → ∞` (used to quantify truncation error).
+    pub fn truncated_variance(&self, x: f64, y: f64) -> f64 {
+        (0..self.dim()).map(|k| self.basis(k, x, y).powi(2)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uq_linalg::quadrature::gauss_legendre_on;
+
+    const CORR_LEN: f64 = 0.15;
+
+    #[test]
+    fn eigenvalues_decrease() {
+        let kl = Kl1d::new(CORR_LEN, 20);
+        for k in 1..20 {
+            assert!(
+                kl.lambda(k) < kl.lambda(k - 1),
+                "λ_{k} = {} >= λ_{} = {}",
+                kl.lambda(k),
+                k - 1,
+                kl.lambda(k - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvalues_satisfy_transcendental_equations() {
+        let kl = Kl1d::new(CORR_LEN, 10);
+        let c = 1.0 / CORR_LEN;
+        for m in &kl.modes {
+            let res = match m.kind {
+                ModeKind::Cosine => c - m.omega * (m.omega * 0.5).tan(),
+                ModeKind::Sine => m.omega + c * (m.omega * 0.5).tan(),
+            };
+            assert!(res.abs() < 1e-6, "residual {res} for ω = {}", m.omega);
+        }
+    }
+
+    #[test]
+    fn eigenfunctions_orthonormal() {
+        let kl = Kl1d::new(CORR_LEN, 8);
+        let (xs, ws) = gauss_legendre_on(0.0, 1.0, 64);
+        for i in 0..8 {
+            for j in i..8 {
+                let ip: f64 = xs
+                    .iter()
+                    .zip(&ws)
+                    .map(|(x, w)| w * kl.eval(i, *x) * kl.eval(j, *x))
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (ip - expect).abs() < 1e-8,
+                    "⟨φ_{i}, φ_{j}⟩ = {ip}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mercer_sum_approximates_kernel() {
+        // with many modes the Mercer sum reproduces exp(-|s-t|/l) away from
+        // the diagonal kink
+        let kl = Kl1d::new(CORR_LEN, 200);
+        for (s, t) in [(0.2, 0.6), (0.5, 0.5), (0.1, 0.9), (0.45, 0.55)] {
+            let exact = (-(s as f64 - t as f64).abs() / CORR_LEN).exp();
+            let approx = kl.mercer_sum(s, t);
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "C({s},{t}) = {exact}, Mercer = {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenfunction_is_kernel_eigenfunction() {
+        // ∫ C(s,t) φ(t) dt = λ φ(s)
+        let kl = Kl1d::new(CORR_LEN, 4);
+        let (xs, ws) = gauss_legendre_on(0.0, 1.0, 200);
+        for k in 0..4 {
+            let s = 0.37;
+            let integral: f64 = xs
+                .iter()
+                .zip(&ws)
+                .map(|(t, w)| w * (-(s - t).abs() / CORR_LEN).exp() * kl.eval(k, *t))
+                .sum();
+            let expect = kl.lambda(k) * kl.eval(k, s);
+            assert!(
+                (integral - expect).abs() < 1e-4,
+                "mode {k}: ∫Cφ = {integral}, λφ = {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn field2d_dimension_and_sorting() {
+        let f = KlField2d::new(CORR_LEN, 1.0, 113);
+        assert_eq!(f.dim(), 113);
+        for k in 1..f.dim() {
+            assert!(f.modes()[k].lambda <= f.modes()[k - 1].lambda);
+        }
+    }
+
+    #[test]
+    fn field2d_leading_mode_is_product_of_leading_1d() {
+        let f = KlField2d::new(CORR_LEN, 1.0, 10);
+        let kl = Kl1d::new(CORR_LEN, 2);
+        let expect = kl.lambda(0) * kl.lambda(0);
+        assert!((f.modes()[0].lambda - expect).abs() < 1e-10);
+        assert_eq!((f.modes()[0].i, f.modes()[0].j), (0, 0));
+    }
+
+    #[test]
+    fn log_kappa_is_linear_in_theta() {
+        let f = KlField2d::new(CORR_LEN, 1.0, 12);
+        let theta1: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let theta2: Vec<f64> = (0..12).map(|i| (i as f64 * 0.11).cos()).collect();
+        let sum: Vec<f64> = theta1.iter().zip(&theta2).map(|(a, b)| a + b).collect();
+        let (x, y) = (0.3, 0.8);
+        let lhs = f.log_kappa(&sum, x, y);
+        let rhs = f.log_kappa(&theta1, x, y) + f.log_kappa(&theta2, x, y);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulate_matches_pointwise_eval() {
+        let f = KlField2d::new(CORR_LEN, 1.0, 20);
+        let pts = vec![(0.1, 0.2), (0.5, 0.5), (0.9, 0.3)];
+        let phi = f.tabulate(&pts);
+        let theta: Vec<f64> = (0..20).map(|i| 0.1 * i as f64 - 1.0).collect();
+        let by_matvec = phi.matvec(&theta);
+        for (p, &(x, y)) in pts.iter().enumerate() {
+            assert!((by_matvec[p] - f.log_kappa(&theta, x, y)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_variance_below_and_approaching_total() {
+        let f_small = KlField2d::new(CORR_LEN, 1.0, 20);
+        let f_big = KlField2d::new(CORR_LEN, 1.0, 400);
+        let (x, y) = (0.5, 0.5);
+        let v_small = f_small.truncated_variance(x, y);
+        let v_big = f_big.truncated_variance(x, y);
+        assert!(v_small < v_big);
+        assert!(v_big <= 1.0 + 1e-6);
+        assert!(v_big > 0.9, "400 modes should capture >90% variance, got {v_big}");
+    }
+
+    #[test]
+    fn variance_scales_field() {
+        let f1 = KlField2d::new(CORR_LEN, 1.0, 15);
+        let f4 = KlField2d::new(CORR_LEN, 4.0, 15);
+        let theta: Vec<f64> = (0..15).map(|i| ((i * 13) % 7) as f64 / 7.0).collect();
+        let a = f1.log_kappa(&theta, 0.4, 0.6);
+        let b = f4.log_kappa(&theta, 0.4, 0.6);
+        assert!((b - 2.0 * a).abs() < 1e-12, "variance 4 doubles the field");
+    }
+}

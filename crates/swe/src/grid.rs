@@ -1,0 +1,136 @@
+//! Uniform Cartesian grid over a rectangular physical domain (meters).
+
+/// A uniform `nx × ny` cell grid covering `[x0, x1] × [y0, y1]`.
+///
+/// Cell `(i, j)` has linear index `j·nx + i` (x fastest) and center
+/// `(x0 + (i+½)dx, y0 + (j+½)dy)`.
+#[derive(Clone, Debug)]
+pub struct Grid2d {
+    nx: usize,
+    ny: usize,
+    x0: f64,
+    y0: f64,
+    dx: f64,
+    dy: f64,
+}
+
+impl Grid2d {
+    /// Build a grid with `nx × ny` cells over the given extents.
+    ///
+    /// # Panics
+    /// Panics for empty grids or inverted extents.
+    pub fn new(nx: usize, ny: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
+        assert!(nx > 0 && ny > 0, "Grid2d: need at least one cell");
+        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "Grid2d: bad extents");
+        Self {
+            nx,
+            ny,
+            x0: x_range.0,
+            y0: y_range.0,
+            dx: (x_range.1 - x_range.0) / nx as f64,
+            dy: (y_range.1 - y_range.0) / ny as f64,
+        }
+    }
+
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    pub fn dy(&self) -> f64 {
+        self.dy
+    }
+
+    /// Total cell count.
+    pub fn n_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Linear index of cell `(i, j)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny);
+        j * self.nx + i
+    }
+
+    /// Center coordinates of cell `(i, j)`.
+    #[inline]
+    pub fn center(&self, i: usize, j: usize) -> (f64, f64) {
+        (
+            self.x0 + (i as f64 + 0.5) * self.dx,
+            self.y0 + (j as f64 + 0.5) * self.dy,
+        )
+    }
+
+    /// Cell containing physical point `(x, y)`, clamped to the domain.
+    pub fn locate(&self, x: f64, y: f64) -> (usize, usize) {
+        let i = (((x - self.x0) / self.dx).floor().max(0.0) as usize).min(self.nx - 1);
+        let j = (((y - self.y0) / self.dy).floor().max(0.0) as usize).min(self.ny - 1);
+        (i, j)
+    }
+
+    /// Whether a physical point lies inside the domain.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0
+            && x <= self.x0 + self.dx * self.nx as f64
+            && y >= self.y0
+            && y <= self.y0 + self.dy * self.ny as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid2d {
+        Grid2d::new(10, 5, (-100.0, 100.0), (0.0, 50.0))
+    }
+
+    #[test]
+    fn spacing_and_counts() {
+        let g = grid();
+        assert_eq!(g.n_cells(), 50);
+        assert!((g.dx() - 20.0).abs() < 1e-12);
+        assert!((g.dy() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers_are_offset_half_cell() {
+        let g = grid();
+        assert_eq!(g.center(0, 0), (-90.0, 5.0));
+        assert_eq!(g.center(9, 4), (90.0, 45.0));
+    }
+
+    #[test]
+    fn locate_inverts_center() {
+        let g = grid();
+        for j in 0..5 {
+            for i in 0..10 {
+                let (x, y) = g.center(i, j);
+                assert_eq!(g.locate(x, y), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_clamps_outside_points() {
+        let g = grid();
+        assert_eq!(g.locate(-1e9, -1e9), (0, 0));
+        assert_eq!(g.locate(1e9, 1e9), (9, 4));
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let g = grid();
+        assert!(g.contains(0.0, 25.0));
+        assert!(!g.contains(101.0, 25.0));
+        assert!(!g.contains(0.0, -0.1));
+    }
+}

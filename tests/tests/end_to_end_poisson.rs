@@ -1,0 +1,87 @@
+//! End-to-end integration: random field → FEM → Bayesian posterior →
+//! multilevel MCMC, at a scale suitable for CI.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uq_fem::problem::{PoissonFactory, ProposalKind};
+use uq_fem::PoissonHierarchy;
+use uq_mlmcmc::{run_sequential, MlmcmcConfig};
+
+fn small_factory() -> PoissonFactory {
+    let hierarchy = PoissonHierarchy::new(12, vec![8, 16, 32], 77);
+    PoissonFactory::new(hierarchy, vec![6, 3])
+}
+
+#[test]
+fn three_level_poisson_pipeline_runs_green() {
+    let factory = small_factory();
+    let config = MlmcmcConfig::new(vec![300, 60, 15]).with_burn_in(vec![60, 20, 5]);
+    let mut rng = StdRng::seed_from_u64(11);
+    let report = run_sequential(&factory, &config, &mut rng);
+    assert_eq!(report.levels.len(), 3);
+    // QOI is the kappa field on the 33x33 grid
+    let est = report.expectation();
+    assert_eq!(est.len(), 1089);
+    assert!(est.iter().all(|v| v.is_finite() && *v > 0.0), "kappa must stay positive");
+    // eval accounting: coarse level carries the most evaluations
+    assert!(report.levels[0].evaluations > report.levels[1].evaluations);
+    assert!(report.levels[1].evaluations > report.levels[2].evaluations);
+}
+
+#[test]
+fn correction_variance_decays_across_levels() {
+    let factory = small_factory();
+    let config = MlmcmcConfig::new(vec![500, 120, 30]).with_burn_in(vec![100, 30, 10]);
+    let mut rng = StdRng::seed_from_u64(13);
+    let report = run_sequential(&factory, &config, &mut rng);
+    // representative central component
+    let rep = 16 * 33 + 16;
+    let v0 = report.levels[0].var_correction[rep];
+    let v1 = report.levels[1].var_correction[rep];
+    assert!(
+        v1 < v0,
+        "multilevel variance reduction failed: V[Y_1] = {v1} vs V[Q_0] = {v0}"
+    );
+}
+
+#[test]
+fn posterior_mean_field_beats_prior_mean_field() {
+    // the recovered field must be closer to the truth than the prior mean
+    // (kappa = 1 everywhere)
+    let factory = small_factory();
+    let truth = factory.hierarchy().true_qoi();
+    let config = MlmcmcConfig::new(vec![800, 120, 20]).with_burn_in(vec![150, 30, 8]);
+    let mut rng = StdRng::seed_from_u64(17);
+    let report = run_sequential(&factory, &config, &mut rng);
+    let est = report.expectation();
+    let err = |f: &dyn Fn(usize) -> f64| -> f64 {
+        truth
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (t - f(k)).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let est_err = err(&|k| est[k]);
+    let prior_err = err(&|_| 1.0);
+    assert!(
+        est_err < prior_err,
+        "posterior mean (err {est_err}) should beat the prior mean (err {prior_err})"
+    );
+}
+
+#[test]
+fn proposal_kinds_all_run() {
+    for kind in [
+        ProposalKind::Pcn { beta: 0.1 },
+        ProposalKind::RandomWalk { sd: 0.05 },
+        ProposalKind::AdaptiveMetropolis { sd: 0.05 },
+    ] {
+        let mut factory = small_factory();
+        factory.proposal_kind = kind;
+        let config = MlmcmcConfig::new(vec![100, 20]).with_burn_in(vec![20, 5]);
+        let mut rng = StdRng::seed_from_u64(19);
+        let report = run_sequential(&factory, &config, &mut rng);
+        assert!(report.expectation().iter().all(|v| v.is_finite()), "{kind:?}");
+    }
+}

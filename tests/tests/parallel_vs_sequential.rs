@@ -1,0 +1,97 @@
+//! The parallel scheduler and the sequential driver must estimate the
+//! same quantities: both implement paper Algorithm 2, only the execution
+//! strategy differs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uq_linalg::prob::isotropic_gaussian_logpdf;
+use uq_mcmc::{GaussianRandomWalk, Proposal, SamplingProblem};
+use uq_mlmcmc::{run_sequential, LevelFactory, MlmcmcConfig};
+use uq_parallel::{run_parallel, ParallelConfig, Tracer};
+
+struct Hierarchy;
+
+impl LevelFactory for Hierarchy {
+    fn n_levels(&self) -> usize {
+        3
+    }
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        struct Target {
+            mean: Vec<f64>,
+            sd: f64,
+        }
+        impl SamplingProblem for Target {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn log_density(&mut self, theta: &[f64]) -> f64 {
+                isotropic_gaussian_logpdf(theta, &self.mean, self.sd)
+            }
+        }
+        let mean = [[0.5, -0.4], [0.9, -0.9], [1.0, -1.0]][level];
+        Box::new(Target {
+            mean: mean.to_vec(),
+            sd: [0.7, 0.55, 0.5][level],
+        })
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+        Box::new(GaussianRandomWalk::new(0.7))
+    }
+    fn subsampling_rate(&self, level: usize) -> usize {
+        [20, 12, 0][level]
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0, 0.0]
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_estimate() {
+    let samples = vec![25_000usize, 3_000, 800];
+    let burn_in = vec![400usize, 150, 60];
+
+    let config = MlmcmcConfig::new(samples.clone()).with_burn_in(burn_in.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let seq = run_sequential(&Hierarchy, &config, &mut rng);
+
+    let mut pconfig = ParallelConfig::new(samples, vec![2, 2, 1]);
+    pconfig.burn_in = burn_in;
+    let par = run_parallel(&Hierarchy, &pconfig, &Tracer::disabled());
+
+    let se = seq.expectation();
+    let pe = par.expectation();
+    let truth = [1.0, -1.0];
+    for k in 0..2 {
+        assert!(
+            (se[k] - pe[k]).abs() < 0.15,
+            "component {k}: sequential {} vs parallel {}",
+            se[k],
+            pe[k]
+        );
+        // both close to the finest target mean (1, -1)
+        assert!((se[k] - truth[k]).abs() < 0.12, "sequential {k}: {}", se[k]);
+        assert!((pe[k] - truth[k]).abs() < 0.12, "parallel {k}: {}", pe[k]);
+    }
+}
+
+#[test]
+fn parallel_counts_match_targets() {
+    let mut pconfig = ParallelConfig::new(vec![2_000, 500, 150], vec![1, 1, 1]);
+    pconfig.burn_in = vec![50, 20, 10];
+    let par = run_parallel(&Hierarchy, &pconfig, &Tracer::disabled());
+    assert_eq!(par.levels[0].n_samples, 2_000);
+    assert_eq!(par.levels[1].n_samples, 500);
+    assert_eq!(par.levels[2].n_samples, 150);
+    // subsampling forces coarse evals >> coarse samples
+    assert!(par.levels[0].evaluations > 2_000);
+}
+
+#[test]
+fn parallel_handles_single_chain_layout() {
+    let mut pconfig = ParallelConfig::new(vec![800, 200], vec![1, 1]);
+    pconfig.load_balancing = false;
+    pconfig.burn_in = vec![20, 10];
+    let par = run_parallel(&Hierarchy, &pconfig, &Tracer::disabled());
+    assert!(par.expectation()[0].is_finite());
+    assert_eq!(par.reassignments, 0);
+}

@@ -1,0 +1,120 @@
+//! Cross-crate property-based tests (proptest) on the core numerical
+//! invariants.
+
+use proptest::prelude::*;
+use uq_linalg::dense::DenseMatrix;
+use uq_linalg::fft::{fft, ifft, Complex};
+use uq_linalg::sparse::CooMatrix;
+use uq_linalg::vector;
+use uq_mcmc::stats::RunningMoments;
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric(x in prop::collection::vec(-1e3f64..1e3, 1..32)) {
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        prop_assert!((vector::dot(&x, &y) - vector::dot(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(
+        x in prop::collection::vec(-1e2f64..1e2, 2..16),
+        seed in 0u64..1000,
+    ) {
+        let y: Vec<f64> = x.iter().enumerate()
+            .map(|(i, v)| v * ((i as f64 + seed as f64) * 0.7).sin())
+            .collect();
+        let lhs = vector::dot(&x, &y).abs();
+        let rhs = vector::norm2(&x) * vector::norm2(&y);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn fft_roundtrip_random(re in prop::collection::vec(-1e3f64..1e3, 1..8)) {
+        // pad to a power of two
+        let n = re.len().next_power_of_two().max(2);
+        let mut x: Vec<Complex> = re.iter().map(|&r| Complex::new(r, -r * 0.5)).collect();
+        x.resize(n, Complex::ZERO);
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn coo_to_csr_preserves_matvec(
+        entries in prop::collection::vec((0usize..8, 0usize..8, -10f64..10.0), 0..64),
+        x in prop::collection::vec(-5f64..5.0, 8),
+    ) {
+        let mut coo = CooMatrix::new(8, 8);
+        // dense accumulation as the reference
+        let mut dense = vec![0.0f64; 64];
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+            dense[r * 8 + c] += v;
+        }
+        let csr = coo.to_csr();
+        let y = csr.matvec(&x);
+        for r in 0..8 {
+            let expect: f64 = (0..8).map(|c| dense[r * 8 + c] * x[c]).sum();
+            prop_assert!((y[r] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_of_gram_matrix_succeeds(
+        rows in prop::collection::vec(prop::collection::vec(-2f64..2.0, 3), 3)
+    ) {
+        // A = B Bᵀ + I is always SPD
+        let b = DenseMatrix::from_fn(3, 3, |i, j| rows[i][j]);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let l = a.cholesky();
+        prop_assert!(l.is_some());
+        let l = l.unwrap();
+        let back = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn running_moments_match_batch_any_split(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..64),
+        split in 1usize..63,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert!((a.mean() - vector::mean(&xs)).abs() < 1e-6);
+        prop_assert!((a.variance() - vector::variance(&xs)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mh_chain_stays_in_support(seed in 0u64..50) {
+        use rand::SeedableRng;
+        use uq_mcmc::{Chain, ChainConfig, GaussianRandomWalk};
+        use uq_mcmc::problem::FnProblem;
+        // target supported on [0, 1] only
+        let problem = FnProblem::new(1, |th: &[f64]| {
+            if th[0] >= 0.0 && th[0] <= 1.0 { 0.0 } else { f64::NEG_INFINITY }
+        });
+        let mut chain = Chain::new(
+            problem,
+            GaussianRandomWalk::new(0.5),
+            vec![0.5],
+            ChainConfig::default(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        chain.run(200, &mut rng);
+        for s in chain.samples() {
+            prop_assert!((0.0..=1.0).contains(&s[0]));
+        }
+    }
+}
