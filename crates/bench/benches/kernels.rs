@@ -101,5 +101,12 @@ fn bench_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spmv, bench_cg, bench_fft, bench_kl, bench_sampling);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_cg,
+    bench_fft,
+    bench_kl,
+    bench_sampling
+);
 criterion_main!(benches);

@@ -112,7 +112,7 @@ fn bench_des(c: &mut Criterion) {
         chains_per_level: vec![32, 8, 4],
         group_size: 1,
         phonebook_service_time: 2e-4,
-            collector_service_time: 1e-3,
+        collector_service_time: 1e-3,
         load_balancing: true,
         seed: 4,
     };

@@ -35,7 +35,10 @@ fn bench_swe_step(c: &mut Criterion) {
     for (name, scheme) in [
         ("first_order", Scheme::FirstOrder),
         ("second_order", Scheme::SecondOrder { limiter: false }),
-        ("second_order_limited", Scheme::SecondOrder { limiter: true }),
+        (
+            "second_order_limited",
+            Scheme::SecondOrder { limiter: true },
+        ),
     ] {
         let grid = Grid2d::new(64, 64, (0.0, 1000.0), (0.0, 1000.0));
         let bathy = vec![-100.0; grid.n_cells()];

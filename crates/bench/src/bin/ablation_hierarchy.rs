@@ -80,11 +80,7 @@ fn main() {
             Fidelity::DepthAveraged,
             Scheme::SecondOrder { limiter: false },
         ),
-        (
-            "full bathy + O1 FV",
-            Fidelity::Full,
-            Scheme::FirstOrder,
-        ),
+        ("full bathy + O1 FV", Fidelity::Full, Scheme::FirstOrder),
         (
             "full bathy + O2 + limiter",
             Fidelity::Full,
@@ -109,20 +105,41 @@ fn main() {
             format!("{:.3}", obs[0]),
             format!("{:.1}", obs[2]),
         ]);
-        csv.push(vec![i as f64, dofs as f64, secs, dist, obs[0], obs[1], obs[2], obs[3]]);
+        csv.push(vec![
+            i as f64,
+            dofs as f64,
+            secs,
+            dist,
+            obs[0],
+            obs[1],
+            obs[2],
+            obs[3],
+        ]);
     }
     println!(
         "{}",
         render_table(
-            &["level-0 variant", "DOF updates", "time[s]", "sigma-dist to L2", "hmax1", "t1[min]"],
+            &[
+                "level-0 variant",
+                "DOF updates",
+                "time[s]",
+                "sigma-dist to L2",
+                "hmax1",
+                "t1[min]"
+            ],
             &rows
         )
     );
-    println!("\nthe paper's choice trades some fidelity for a large cost cut and no limiter cells;");
+    println!(
+        "\nthe paper's choice trades some fidelity for a large cost cut and no limiter cells;"
+    );
     println!("MLMCMC only needs the coarse level to be *informative*, not accurate.");
     write_output(
         &args.out_dir,
         "ablation_hierarchy.csv",
-        &to_csv("variant,dof_updates,secs,sigma_dist,hmax1,hmax2,t1_min,t2_min", &csv),
+        &to_csv(
+            "variant,dof_updates,secs,sigma_dist,hmax1,hmax2,t1_min,t2_min",
+            &csv,
+        ),
     );
 }

@@ -38,7 +38,7 @@ fn main() {
                 chains_per_level: chains.to_vec(),
                 group_size: 1,
                 phonebook_service_time: 2e-4,
-            collector_service_time: 1e-3,
+                collector_service_time: 1e-3,
                 load_balancing: lb,
                 seed: args.seed,
             };
@@ -68,7 +68,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["allocation", "chains", "fixed[s]", "balanced[s]", "gain", "reassigned"],
+            &[
+                "allocation",
+                "chains",
+                "fixed[s]",
+                "balanced[s]",
+                "gain",
+                "reassigned"
+            ],
             &rows
         )
     );

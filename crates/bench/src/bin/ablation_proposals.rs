@@ -30,8 +30,14 @@ fn main() {
     let proposals: Vec<(&str, Box<dyn Proposal>)> = vec![
         ("RW sd=0.05", Box::new(GaussianRandomWalk::new(0.05))),
         ("RW sd=0.2", Box::new(GaussianRandomWalk::new(0.2))),
-        ("pCN beta=0.08", Box::new(PcnProposal::new(0.08, vec![0.0; m], constants::PRIOR_SD))),
-        ("pCN beta=0.25", Box::new(PcnProposal::new(0.25, vec![0.0; m], constants::PRIOR_SD))),
+        (
+            "pCN beta=0.08",
+            Box::new(PcnProposal::new(0.08, vec![0.0; m], constants::PRIOR_SD)),
+        ),
+        (
+            "pCN beta=0.25",
+            Box::new(PcnProposal::new(0.25, vec![0.0; m], constants::PRIOR_SD)),
+        ),
         (
             "indep N(0,3I)",
             Box::new(IndependenceProposal::isotropic(vec![0.0; m], 3f64.sqrt())),

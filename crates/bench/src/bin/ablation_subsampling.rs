@@ -77,14 +77,26 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["rho", "fine IACT", "accept", "V[Y_1]", "coarse evals/sample", "work/ESS"],
+            &[
+                "rho",
+                "fine IACT",
+                "accept",
+                "V[Y_1]",
+                "coarse evals/sample",
+                "work/ESS"
+            ],
             &rows
         )
     );
-    println!("expected shape: IACT drops towards 1 with rho; work/ESS is minimized at a moderate rho.");
+    println!(
+        "expected shape: IACT drops towards 1 with rho; work/ESS is minimized at a moderate rho."
+    );
     write_output(
         &args.out_dir,
         "ablation_subsampling.csv",
-        &to_csv("rho,fine_iact,acceptance,var_correction,coarse_evals_per_sample,work_per_ess", &csv),
+        &to_csv(
+            "rho,fine_iact,acceptance,var_correction,coarse_evals_per_sample,work_per_ess",
+            &csv,
+        ),
     );
 }

@@ -70,14 +70,25 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ranks", "chains/level", "time[s]", "speedup", "ideal", "busy", "reassigned"],
+            &[
+                "ranks",
+                "chains/level",
+                "time[s]",
+                "speedup",
+                "ideal",
+                "busy",
+                "reassigned"
+            ],
             &rows
         )
     );
     write_output(
         &args.out_dir,
         "fig11_strong_scaling.csv",
-        &to_csv("ranks,makespan_s,speedup,ideal_speedup,busy_fraction,reassignments", &csv),
+        &to_csv(
+            "ranks,makespan_s,speedup,ideal_speedup,busy_fraction,reassignments",
+            &csv,
+        ),
     );
 
     // ---- live cross-check with the thread-backed scheduler ----

@@ -33,7 +33,13 @@ fn main() {
             if coarse == fine {
                 identical += 1;
             }
-            rows.push(vec![lvl.level as f64, coarse[0], coarse[1], fine[0], fine[1]]);
+            rows.push(vec![
+                lvl.level as f64,
+                coarse[0],
+                coarse[1],
+                fine[0],
+                fine[1],
+            ]);
         }
         println!(
             "level {}: {} pairs, {} identical (accepted coarse proposals = Fig. 14's dots)",

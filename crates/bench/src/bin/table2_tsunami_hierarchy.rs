@@ -49,7 +49,14 @@ fn main() {
     }
     let table = render_table(
         &[
-            "level", "order", "limiter", "h", "#timesteps", "DOF updates", "limited", "hmax@21418",
+            "level",
+            "order",
+            "limiter",
+            "h",
+            "#timesteps",
+            "DOF updates",
+            "limited",
+            "hmax@21418",
             "t@21418[min]",
         ],
         &rows,

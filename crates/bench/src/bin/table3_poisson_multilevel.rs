@@ -33,7 +33,10 @@ fn main() {
             vec![20, 5],
         )
     };
-    println!("Table 3 — Poisson multilevel properties (m = {})", constants::PARAM_DIM);
+    println!(
+        "Table 3 — Poisson multilevel properties (m = {})",
+        constants::PARAM_DIM
+    );
     println!("(paper reference: t_l = 3.35/45.6/932 ms, tau = 137.3/11.2/1.05,");
     println!(" V = 1.501e-1 / 1.121e-3 / 4.165e-5 for a representative component)\n");
 
@@ -52,7 +55,11 @@ fn main() {
     for lvl in &report.levels {
         let n = levels[lvl.level];
         let dofs = (n + 1) * (n + 1);
-        let rho_l = if lvl.level < rho.len() { rho[lvl.level] } else { 0 };
+        let rho_l = if lvl.level < rho.len() {
+            rho[lvl.level]
+        } else {
+            0
+        };
         rows.push(vec![
             lvl.level.to_string(),
             format!("1/{n}"),
@@ -77,7 +84,9 @@ fn main() {
         ]);
     }
     let table = render_table(
-        &["level", "h", "DOFs", "t_l[ms]", "rho_l", "tau_l", "V[Y_l]", "accept", "evals"],
+        &[
+            "level", "h", "DOFs", "t_l[ms]", "rho_l", "tau_l", "V[Y_l]", "accept", "evals",
+        ],
         &rows,
     );
     println!("{table}");
@@ -103,7 +112,10 @@ fn main() {
     }
     let rel_err = (err2 / norm2).sqrt();
     println!("Fig. 10 — field recovery: relative L2 error {rel_err:.3}");
-    println!("(high-frequency detail is not recoverable from m = {} KL modes;", constants::PARAM_DIM);
+    println!(
+        "(high-frequency detail is not recoverable from m = {} KL modes;",
+        constants::PARAM_DIM
+    );
     println!(" the paper reports the same qualitative smoothing)");
     write_output(
         &args.out_dir,

@@ -44,9 +44,18 @@ fn main() {
             lvl.level.to_string(),
             format!("{:.3}", lvl.mean_eval_ms / 1e3),
             rho_l.to_string(),
-            format!("({:.1}, {:.1})", lvl.var_correction[0], lvl.var_correction[1]),
-            format!("({:.2}, {:.2})", lvl.mean_correction[0], lvl.mean_correction[1]),
-            format!("({:.2}, {:.2})", partials[lvl.level][0], partials[lvl.level][1]),
+            format!(
+                "({:.1}, {:.1})",
+                lvl.var_correction[0], lvl.var_correction[1]
+            ),
+            format!(
+                "({:.2}, {:.2})",
+                lvl.mean_correction[0], lvl.mean_correction[1]
+            ),
+            format!(
+                "({:.2}, {:.2})",
+                partials[lvl.level][0], partials[lvl.level][1]
+            ),
             format!("{:.2}", lvl.acceptance_rate),
             lvl.evaluations.to_string(),
         ]);
@@ -65,7 +74,16 @@ fn main() {
         ]);
     }
     let table = render_table(
-        &["level", "t_l[s]", "rho_l", "V[Y_l]", "E[Y_l]", "partial sum", "accept", "evals"],
+        &[
+            "level",
+            "t_l[s]",
+            "rho_l",
+            "V[Y_l]",
+            "E[Y_l]",
+            "partial sum",
+            "accept",
+            "evals",
+        ],
         &rows,
     );
     println!("{table}");
@@ -90,13 +108,23 @@ fn main() {
             fig13.push(vec![lvl.level as f64, s[0], s[1]]);
         }
     }
-    write_output(&args.out_dir, "fig13_tsunami_samples.csv", &to_csv("level,theta_x,theta_y", &fig13));
+    write_output(
+        &args.out_dir,
+        "fig13_tsunami_samples.csv",
+        &to_csv("level,theta_x,theta_y", &fig13),
+    );
 
     // ---- Fig. 14: coarse-to-fine correction arrows ----
     let mut fig14 = Vec::new();
     for lvl in &report.levels[1..] {
         for (coarse, fine) in &lvl.correction_pairs {
-            fig14.push(vec![lvl.level as f64, coarse[0], coarse[1], fine[0], fine[1]]);
+            fig14.push(vec![
+                lvl.level as f64,
+                coarse[0],
+                coarse[1],
+                fine[0],
+                fine[1],
+            ]);
         }
     }
     write_output(

@@ -9,6 +9,8 @@
 //! parameters otherwise. Outputs go to `results/` as CSV plus a printed
 //! table mirroring the paper's layout.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -58,7 +60,8 @@ pub fn write_output(out_dir: &Path, name: &str, content: &str) -> PathBuf {
     std::fs::create_dir_all(out_dir).expect("cannot create output directory");
     let path = out_dir.join(name);
     let mut f = std::fs::File::create(&path).expect("cannot create output file");
-    f.write_all(content.as_bytes()).expect("cannot write output");
+    f.write_all(content.as_bytes())
+        .expect("cannot write output");
     println!("wrote {}", path.display());
     path
 }

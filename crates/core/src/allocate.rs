@@ -18,8 +18,15 @@
 /// variances.
 pub fn optimal_allocation(variances: &[f64], costs: &[f64], epsilon: f64) -> Vec<usize> {
     assert!(!variances.is_empty(), "optimal_allocation: no levels");
-    assert_eq!(variances.len(), costs.len(), "optimal_allocation: length mismatch");
-    assert!(epsilon > 0.0, "optimal_allocation: epsilon must be positive");
+    assert_eq!(
+        variances.len(),
+        costs.len(),
+        "optimal_allocation: length mismatch"
+    );
+    assert!(
+        epsilon > 0.0,
+        "optimal_allocation: epsilon must be positive"
+    );
     for (&v, &c) in variances.iter().zip(costs) {
         assert!(v >= 0.0, "optimal_allocation: negative variance");
         assert!(c > 0.0, "optimal_allocation: non-positive cost");
@@ -125,7 +132,10 @@ mod tests {
 
     #[test]
     fn subsampling_tracks_iact() {
-        assert_eq!(subsampling_from_iact(&[137.3, 11.2, 1.05]), vec![138, 12, 2]);
+        assert_eq!(
+            subsampling_from_iact(&[137.3, 11.2, 1.05]),
+            vec![138, 12, 2]
+        );
         assert_eq!(subsampling_from_iact(&[0.5]), vec![1]);
     }
 

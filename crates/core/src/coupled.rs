@@ -165,6 +165,22 @@ impl MlChain {
         }
     }
 
+    /// The coarse sample coupled to the **current** fine state — the
+    /// anchor, i.e. the coarse proposal from which the current state was
+    /// accepted (`None` for level-0 chains). Note this is *not* the
+    /// pairing the telescoping estimator uses: when coarse and fine share
+    /// a parameter space, an accepted fine state equals its anchor and
+    /// the anchored correction degenerates to zero. The estimator pairs
+    /// with [`MlChain::last_coarse`] instead (see `uq-mlmcmc`'s
+    /// [`estimator`](crate::estimator) docs for the finite-`ρ` bias this
+    /// trades off).
+    pub fn anchor(&self) -> Option<&CoarseSample> {
+        match &self.kind {
+            Kind::Base { .. } => None,
+            Kind::Coupled { anchor, .. } => Some(anchor),
+        }
+    }
+
     /// The coarse sample used by the most recent coupled step (`None` for
     /// level-0 chains or before the first step).
     pub fn last_coarse(&self) -> Option<&CoarseSample> {
@@ -353,7 +369,10 @@ impl CoarseProposalSource for ChainCoarseSource {
 /// level 0 is a base chain, each higher level wraps the one below as its
 /// coarse-proposal source (subsampled at `factory.subsampling_rate`).
 pub fn build_chain_stack(factory: &dyn LevelFactory, level: usize) -> MlChain {
-    assert!(level < factory.n_levels(), "build_chain_stack: level out of range");
+    assert!(
+        level < factory.n_levels(),
+        "build_chain_stack: level out of range"
+    );
     if level == 0 {
         return MlChain::base(
             factory.problem(0),
@@ -530,7 +549,10 @@ mod tests {
             }
             prev = Some(lc.theta.clone());
         }
-        assert!(changed > 20, "coarse proposals should keep moving ({changed})");
+        assert!(
+            changed > 20,
+            "coarse proposals should keep moving ({changed})"
+        );
         // with such mismatched levels the fine chain never actually moves:
         // the only "accepted" proposals are trivial self-proposals (the
         // rewound coarse chain rejected all its own moves)
@@ -649,6 +671,6 @@ mod tests {
         fine.restore(&snapshot);
         assert_eq!(fine.state().theta, snapshot.theta);
         assert_eq!(fine.state().log_density, snapshot.log_density);
-        assert_eq!(fine.current_as_sample().sub_anchor.is_some(), true);
+        assert!(fine.current_as_sample().sub_anchor.is_some());
     }
 }

@@ -7,6 +7,18 @@
 //! The driver records everything the paper tabulates: per-level means,
 //! correction variances, integrated autocorrelation times, acceptance
 //! rates, evaluation counts and mean evaluation cost.
+//!
+//! **Estimator pairing and finite-`ρ` bias.** Each correction sample is
+//! `Q_l(θ_l) − Q_{l-1}(ψ)` with `ψ` the coarse proposal served for that
+//! step ([`MlChain::last_coarse`]) — the coarse *anchor* cannot be used
+//! because an accepted fine state equals its anchor whenever the levels
+//! share a parameter space, degenerating the correction to zero. With
+//! the sequential source's exactness rewind the fine marginal is exact
+//! but the served-coarse marginal is `π_l K_{l-1}^ρ` rather than
+//! `π_{l-1}`, leaving an `O(contraction^ρ)` bias in the correction term
+//! that vanishes as the subsampling rate `ρ` grows (the parallel
+//! scheduler's long-running servers approach the unbiased independence
+//! limit). See DESIGN.md § "Estimator pairing" for the full discussion.
 
 use crate::counting::{CountingProblem, EvalCounter};
 use crate::coupled::{build_chain_stack, MlChain};
@@ -176,7 +188,9 @@ fn run_term(
     let mut theta_samples = Vec::new();
     let mut qoi_samples = Vec::new();
     let mut correction_pairs = Vec::new();
-    let rep = config.representative_component.min(qoi_dim.saturating_sub(1));
+    let rep = config
+        .representative_component
+        .min(qoi_dim.saturating_sub(1));
     for _ in 0..n_samples {
         chain.step(rng);
         let fine_qoi = chain.state().qoi.clone();
@@ -205,7 +219,7 @@ fn run_term(
         mean_correction: moments.mean(),
         var_correction: moments.variance(),
         iact: integrated_autocorrelation_time(&rep_trace),
-        evaluations: 0,   // filled in by the driver from the counters
+        evaluations: 0, // filled in by the driver from the counters
         mean_eval_ms: 0.0,
         theta_samples,
         qoi_samples,
@@ -232,7 +246,9 @@ pub fn run_sequential(
     );
     let counting = CountingFactory {
         inner: factory,
-        counters: (0..factory.n_levels()).map(|_| EvalCounter::new()).collect(),
+        counters: (0..factory.n_levels())
+            .map(|_| EvalCounter::new())
+            .collect(),
     };
     let mut levels = Vec::with_capacity(n_levels);
     for level in 0..n_levels {
@@ -265,8 +281,8 @@ mod tests {
 
     fn run_three_level(n: usize, seed: u64, record: bool) -> MlmcmcReport {
         let h = GaussianHierarchy::three_level(1);
-        let mut config = MlmcmcConfig::new(vec![n, n / 4, n / 10])
-            .with_burn_in(vec![500, 200, 100]);
+        let mut config =
+            MlmcmcConfig::new(vec![n, n / 4, n / 10]).with_burn_in(vec![500, 200, 100]);
         if record {
             config = config.recording();
         }

@@ -18,6 +18,8 @@
 //! * [`counting`] — instrumentation wrapper counting model evaluations
 //!   and wall-clock cost per level (the `t_l` columns).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod allocate;
 pub mod counting;
 pub mod coupled;

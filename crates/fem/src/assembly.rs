@@ -154,7 +154,11 @@ mod tests {
         let u = solve(&grid, &vec![1.0; 64]);
         for idx in 0..grid.n_nodes() {
             let (x, _) = grid.node_coords(idx);
-            assert!((u[idx] - x).abs() < 1e-8, "u({idx}) = {} vs x = {x}", u[idx]);
+            assert!(
+                (u[idx] - x).abs() < 1e-8,
+                "u({idx}) = {} vs x = {x}",
+                u[idx]
+            );
         }
     }
 
@@ -185,9 +189,10 @@ mod tests {
         }
         let u = solve(&grid, &kappa);
         let mid = grid.interpolate(&u, 0.5, 0.5);
-        let expect = k1 / (k1 + k2) * 2.0 * 0.5 / 1.0; // u(1/2) from flux continuity
-        // derive exactly: u(x)=A x for x<1/2, u = 1 - B(1-x) for x>1/2;
-        // A/2 = 1 - B/2, k1 A = k2 B → A = 2 k2/(k1+k2), u(1/2)=k2/(k1+k2)
+        // u(1/2) from flux continuity; derive exactly: u(x) = A x for
+        // x < 1/2, u = 1 - B(1-x) for x > 1/2; A/2 = 1 - B/2, k1 A = k2 B
+        // → A = 2 k2/(k1+k2), u(1/2) = k2/(k1+k2)
+        let expect = k1 / (k1 + k2) * 2.0 * 0.5 / 1.0;
         let expect_exact = k2 / (k1 + k2);
         let _ = expect;
         assert!(
@@ -199,7 +204,7 @@ mod tests {
     #[test]
     fn dirichlet_rows_are_identity() {
         let grid = StructuredGrid::new(4);
-        let sys = assemble(&grid, &vec![1.0; 16]);
+        let sys = assemble(&grid, &[1.0; 16]);
         for idx in 0..grid.n_nodes() {
             if let Some(g) = grid.dirichlet_value(idx) {
                 assert_eq!(sys.matrix.get(idx, idx), 1.0);
@@ -215,7 +220,9 @@ mod tests {
         // discrete maximum principle for M-matrix-ish Q1 discretization:
         // solution stays within [0, 1] for positive κ
         let grid = StructuredGrid::new(16);
-        let kappa: Vec<f64> = (0..256).map(|e| (0.5 + ((e * 13) % 7) as f64).exp()).collect();
+        let kappa: Vec<f64> = (0..256)
+            .map(|e| (0.5 + ((e * 13) % 7) as f64).exp())
+            .collect();
         let u = solve(&grid, &kappa);
         for &v in &u {
             assert!(v > -1e-6 && v < 1.0 + 1e-6, "u = {v} escapes [0,1]");

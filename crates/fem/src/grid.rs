@@ -18,7 +18,10 @@ impl StructuredGrid {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "StructuredGrid: need at least one element");
-        Self { n, h: 1.0 / n as f64 }
+        Self {
+            n,
+            h: 1.0 / n as f64,
+        }
     }
 
     /// Elements per direction.
@@ -94,7 +97,7 @@ impl StructuredGrid {
 
     /// Whether node `idx` lies on the left boundary `x = 0`.
     pub fn on_left(&self, idx: usize) -> bool {
-        idx % (self.n + 1) == 0
+        idx.is_multiple_of(self.n + 1)
     }
 
     /// Whether node `idx` lies on the right boundary `x = 1`.
@@ -194,7 +197,10 @@ mod tests {
         for &(x, y) in &[(0.11, 0.97), (0.5, 0.5), (0.999, 0.001), (0.0, 1.0)] {
             let got = g.interpolate(&f, x, y);
             let expect = 2.0 * x + 3.0 * y + x * y;
-            assert!((got - expect).abs() < 1e-12, "at ({x},{y}): {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "at ({x},{y}): {got} vs {expect}"
+            );
         }
     }
 

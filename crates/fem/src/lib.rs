@@ -14,6 +14,8 @@
 //!   [`uq_mcmc::SamplingProblem`], plus the three-level hierarchy with
 //!   mesh widths 1/16, 1/64, 1/256 used throughout the paper.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod assembly;
 pub mod grid;
 pub mod poisson;

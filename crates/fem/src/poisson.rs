@@ -14,7 +14,14 @@ use uq_randfield::KlField2d;
 /// The paper's 36 observation points `{2/32, 7/32, 13/32, 19/32, 25/32,
 /// 3/32}²` (used verbatim, including the likely-typo `3/32`).
 pub fn paper_observation_points() -> Vec<(f64, f64)> {
-    let coords = [2.0 / 32.0, 7.0 / 32.0, 13.0 / 32.0, 19.0 / 32.0, 25.0 / 32.0, 3.0 / 32.0];
+    let coords = [
+        2.0 / 32.0,
+        7.0 / 32.0,
+        13.0 / 32.0,
+        19.0 / 32.0,
+        25.0 / 32.0,
+        3.0 / 32.0,
+    ];
     let mut pts = Vec::with_capacity(36);
     for &x in &coords {
         for &y in &coords {
@@ -111,7 +118,11 @@ impl PoissonModel {
         let pre = SsorPrecond::new(&sys.matrix, 1.0);
         let warm = self.last_solution.as_deref();
         let result = cg(&sys.matrix, &sys.rhs, warm, &pre, self.opts);
-        debug_assert!(result.converged, "CG stalled at residual {}", result.residual);
+        debug_assert!(
+            result.converged,
+            "CG stalled at residual {}",
+            result.residual
+        );
         self.evaluations += 1;
         self.last_solution = Some(result.x.clone());
         result.x
@@ -156,7 +167,7 @@ mod tests {
         // θ = 0 ⇒ κ ≡ 1 ⇒ u = x
         let field = small_field();
         let mut model = PoissonModel::new(16, &field);
-        let obs = model.forward(&vec![0.0; 16]);
+        let obs = model.forward(&[0.0; 16]);
         for (o, &(x, _)) in obs.iter().zip(model.observation_points()) {
             assert!((o - x).abs() < 1e-6, "obs {o} vs x {x}");
         }
@@ -166,7 +177,7 @@ mod tests {
     fn qoi_at_zero_theta_is_one() {
         let field = small_field();
         let model = PoissonModel::new(16, &field);
-        for q in model.qoi(&vec![0.0; 16]) {
+        for q in model.qoi(&[0.0; 16]) {
             assert!((q - 1.0).abs() < 1e-12);
         }
     }

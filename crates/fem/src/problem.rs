@@ -118,12 +118,11 @@ impl PoissonHierarchy {
 
     /// Scaled-down hierarchy for tests and CI-sized experiments.
     pub fn new(param_dim: usize, level_n: Vec<usize>, truth_seed: u64) -> Self {
-        assert!(!level_n.is_empty(), "PoissonHierarchy: need at least one level");
-        let field = KlField2d::new(
-            constants::CORR_LEN,
-            constants::FIELD_VARIANCE,
-            param_dim,
+        assert!(
+            !level_n.is_empty(),
+            "PoissonHierarchy: need at least one level"
         );
+        let field = KlField2d::new(constants::CORR_LEN, constants::FIELD_VARIANCE, param_dim);
         let mut rng = StdRng::seed_from_u64(truth_seed);
         let truth = standard_normal_vec(&mut rng, param_dim);
         let finest = *level_n.last().unwrap();
@@ -235,7 +234,7 @@ mod tests {
     fn qoi_dimension_is_qoi_grid() {
         let h = tiny_hierarchy();
         let mut p = h.problem(0);
-        assert_eq!(p.qoi(&vec![0.0; 8]).len(), 1089);
+        assert_eq!(p.qoi(&[0.0; 8]).len(), 1089);
         assert_eq!(p.qoi_dim(), 1089);
     }
 
@@ -351,7 +350,7 @@ mod factory_tests {
         assert_eq!(f.subsampling_rate(1), 0);
         assert_eq!(f.starting_point(1).len(), 6);
         let mut p = f.problem(0);
-        assert!(p.log_density(&vec![0.0; 6]).is_finite());
+        assert!(p.log_density(&[0.0; 6]).is_finite());
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl DenseMatrix {
     /// Matrix–vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
@@ -311,11 +313,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_vec(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
-        )
+        DenseMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0])
     }
 
     #[test]

@@ -203,7 +203,9 @@ mod tests {
 
     #[test]
     fn fft_matches_dft_definition() {
-        let x: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let y = fft(&x);
         let n = x.len();
         for k in 0..n {
@@ -217,7 +219,9 @@ mod tests {
 
     #[test]
     fn parseval_identity() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new((i as f64).cos(), 0.0)).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).cos(), 0.0))
+            .collect();
         let y = fft(&x);
         let ex: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
         let ey: f64 = y.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / x.len() as f64;

@@ -9,6 +9,8 @@
 //! The crate is dependency-light by design (only `rayon` for the parallel
 //! sparse kernels) and every routine is exercised by unit and property tests.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod dense;
 pub mod fft;
 pub mod prob;

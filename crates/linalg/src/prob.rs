@@ -31,7 +31,11 @@ pub fn normal_logpdf(x: f64, mean: f64, sd: f64) -> f64 {
 
 /// Log-density of an isotropic Gaussian `N(mean, sd² I)` at `x`.
 pub fn isotropic_gaussian_logpdf(x: &[f64], mean: &[f64], sd: f64) -> f64 {
-    assert_eq!(x.len(), mean.len(), "isotropic_gaussian_logpdf: length mismatch");
+    assert_eq!(
+        x.len(),
+        mean.len(),
+        "isotropic_gaussian_logpdf: length mismatch"
+    );
     let n = x.len() as f64;
     let ss: f64 = x
         .iter()
@@ -71,7 +75,10 @@ impl MultivariateNormal {
 
     /// Isotropic `N(mean, sd² I)` convenience constructor.
     pub fn isotropic(mean: Vec<f64>, sd: f64) -> Self {
-        assert!(sd > 0.0, "MultivariateNormal::isotropic: sd must be positive");
+        assert!(
+            sd > 0.0,
+            "MultivariateNormal::isotropic: sd must be positive"
+        );
         let n = mean.len();
         let cov = DenseMatrix::from_fn(n, n, |i, j| if i == j { sd * sd } else { 0.0 });
         Self::new(mean, &cov).expect("isotropic covariance is SPD")

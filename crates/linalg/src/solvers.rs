@@ -43,7 +43,10 @@ impl JacobiPrecond {
 
 impl Preconditioner for JacobiPrecond {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
-        r.iter().zip(&self.inv_diag).map(|(ri, di)| ri * di).collect()
+        r.iter()
+            .zip(&self.inv_diag)
+            .map(|(ri, di)| ri * di)
+            .collect()
     }
 }
 
@@ -57,8 +60,14 @@ impl SsorPrecond {
     /// `omega` is the relaxation parameter in `(0, 2)`; `1.0` gives
     /// symmetric Gauss–Seidel.
     pub fn new(a: &CsrMatrix, omega: f64) -> Self {
-        assert!(omega > 0.0 && omega < 2.0, "SsorPrecond: omega must be in (0,2)");
-        Self { a: a.clone(), omega }
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SsorPrecond: omega must be in (0,2)"
+        );
+        Self {
+            a: a.clone(),
+            omega,
+        }
     }
 }
 
@@ -302,7 +311,13 @@ mod tests {
     #[test]
     fn cg_zero_rhs_returns_zero() {
         let a = laplacian(10);
-        let r = cg(&a, &vec![0.0; 10], None, &IdentityPrecond, SolverOptions::default());
+        let r = cg(
+            &a,
+            &[0.0; 10],
+            None,
+            &IdentityPrecond,
+            SolverOptions::default(),
+        );
         assert!(r.converged);
         assert!(crate::vector::norm2(&r.x) < 1e-12);
     }
@@ -313,8 +328,17 @@ mod tests {
         let x_true: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let b = a.matvec(&x_true);
         let cold = cg(&a, &b, None, &IdentityPrecond, SolverOptions::default());
-        let warm = cg(&a, &b, Some(&x_true), &IdentityPrecond, SolverOptions::default());
-        assert_eq!(warm.iterations, 0, "exact warm start should converge immediately");
+        let warm = cg(
+            &a,
+            &b,
+            Some(&x_true),
+            &IdentityPrecond,
+            SolverOptions::default(),
+        );
+        assert_eq!(
+            warm.iterations, 0,
+            "exact warm start should converge immediately"
+        );
         assert!(cold.iterations > 0);
     }
 

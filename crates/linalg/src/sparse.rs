@@ -32,7 +32,10 @@ impl CooMatrix {
     /// # Panics
     /// Panics if the index is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "CooMatrix::push: out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "CooMatrix::push: out of bounds"
+        );
         if value != 0.0 {
             self.entries.push((row, col, value));
         }
@@ -130,14 +133,14 @@ impl CsrMatrix {
     /// Entry `(i, j)` — O(row nnz) lookup, intended for tests and setup.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (cols, vals) = self.row(i);
-        cols.iter()
-            .position(|&c| c == j)
-            .map_or(0.0, |p| vals[p])
+        cols.iter().position(|&c| c == j).map_or(0.0, |p| vals[p])
     }
 
     /// Diagonal entries.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Serial matrix–vector product `y = A x`.

@@ -84,9 +84,7 @@ pub fn variance(x: &[f64]) -> f64 {
 /// Maximum absolute difference between two vectors.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Linearly spaced grid of `n` points covering `[a, b]` inclusively.

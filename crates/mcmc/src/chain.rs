@@ -16,7 +16,10 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> Self {
-        Self { burn_in: 0, thin: 1 }
+        Self {
+            burn_in: 0,
+            thin: 1,
+        }
     }
 }
 
@@ -71,7 +74,7 @@ impl<P: SamplingProblem, Q: Proposal> Chain<P, Q> {
         self.steps_taken += 1;
         self.accepted += accepted as usize;
         if self.steps_taken > self.config.burn_in
-            && (self.steps_taken - self.config.burn_in - 1) % self.config.thin == 0
+            && (self.steps_taken - self.config.burn_in - 1).is_multiple_of(self.config.thin)
         {
             self.samples.push(self.state.theta.clone());
             self.qois.push(self.state.qoi.clone());

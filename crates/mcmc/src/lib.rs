@@ -16,6 +16,8 @@
 //!   effective sample size and mergeable streaming moments used by the
 //!   distributed collectors.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod chain;
 pub mod kernel;
 pub mod problem;

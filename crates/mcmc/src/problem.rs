@@ -111,6 +111,21 @@ impl<F: FnMut(&[f64]) -> f64 + Send> SamplingProblem for FnProblem<F> {
     }
 }
 
+impl SamplingProblem for Box<dyn SamplingProblem> {
+    fn dim(&self) -> usize {
+        self.as_ref().dim()
+    }
+    fn log_density(&mut self, theta: &[f64]) -> f64 {
+        self.as_mut().log_density(theta)
+    }
+    fn qoi(&mut self, theta: &[f64]) -> Vec<f64> {
+        self.as_mut().qoi(theta)
+    }
+    fn qoi_dim(&self) -> usize {
+        self.as_ref().qoi_dim()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,20 +161,5 @@ mod tests {
         let mut p = FnProblem::new(2, |th: &[f64]| -(th[0] * th[0] + th[1] * th[1]));
         assert_eq!(p.dim(), 2);
         assert_eq!(p.log_density(&[1.0, 1.0]), -2.0);
-    }
-}
-
-impl SamplingProblem for Box<dyn SamplingProblem> {
-    fn dim(&self) -> usize {
-        self.as_ref().dim()
-    }
-    fn log_density(&mut self, theta: &[f64]) -> f64 {
-        self.as_mut().log_density(theta)
-    }
-    fn qoi(&mut self, theta: &[f64]) -> Vec<f64> {
-        self.as_mut().qoi(theta)
-    }
-    fn qoi_dim(&self) -> usize {
-        self.as_ref().qoi_dim()
     }
 }

@@ -108,7 +108,10 @@ pub struct PcnProposal {
 
 impl PcnProposal {
     pub fn new(beta: f64, prior_mean: Vec<f64>, prior_sd: f64) -> Self {
-        assert!(beta > 0.0 && beta <= 1.0, "PcnProposal: beta must be in (0,1]");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "PcnProposal: beta must be in (0,1]"
+        );
         assert!(prior_sd > 0.0, "PcnProposal: prior sd must be positive");
         Self {
             beta,
@@ -264,6 +267,21 @@ impl Proposal for AdaptiveMetropolis {
     }
 }
 
+impl Proposal for Box<dyn Proposal> {
+    fn propose(&mut self, current: &[f64], rng: &mut dyn Rng) -> Vec<f64> {
+        self.as_mut().propose(current, rng)
+    }
+    fn log_density(&self, from: &[f64], to: &[f64]) -> f64 {
+        self.as_ref().log_density(from, to)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.as_ref().is_symmetric()
+    }
+    fn adapt(&mut self, state: &[f64], accepted: bool) {
+        self.as_mut().adapt(state, accepted);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,7 +294,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cur = vec![5.0, -3.0];
         let n = 20_000;
-        let mut mean = vec![0.0; 2];
+        let mut mean = [0.0; 2];
         for _ in 0..n {
             let s = p.propose(&cur, &mut rng);
             mean[0] += s[0];
@@ -383,20 +401,5 @@ mod tests {
         assert!((p.mean[0] - 3.0).abs() < 1e-12);
         // co-moment accumulates (n-1) * var = 10
         assert!((p.comoment[0] - 10.0).abs() < 1e-12);
-    }
-}
-
-impl Proposal for Box<dyn Proposal> {
-    fn propose(&mut self, current: &[f64], rng: &mut dyn Rng) -> Vec<f64> {
-        self.as_mut().propose(current, rng)
-    }
-    fn log_density(&self, from: &[f64], to: &[f64]) -> f64 {
-        self.as_ref().log_density(from, to)
-    }
-    fn is_symmetric(&self) -> bool {
-        self.as_ref().is_symmetric()
-    }
-    fn adapt(&mut self, state: &[f64], accepted: bool) {
-        self.as_mut().adapt(state, accepted);
     }
 }

@@ -142,7 +142,11 @@ impl VectorMoments {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn push(&mut self, x: &[f64]) {
-        assert_eq!(x.len(), self.components.len(), "VectorMoments: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.components.len(),
+            "VectorMoments: dimension mismatch"
+        );
         for (c, xi) in self.components.iter_mut().zip(x) {
             c.push(*xi);
         }
@@ -164,7 +168,10 @@ impl VectorMoments {
     }
 
     pub fn variance(&self) -> Vec<f64> {
-        self.components.iter().map(RunningMoments::variance).collect()
+        self.components
+            .iter()
+            .map(RunningMoments::variance)
+            .collect()
     }
 }
 
@@ -335,7 +342,11 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
         / (m - 1) as f64;
     let w: f64 = halves.iter().map(|h| variance(&h[..n])).sum::<f64>() / m as f64;
     if w <= 1e-300 {
-        return if b_over_n <= 1e-300 { 1.0 } else { f64::INFINITY };
+        return if b_over_n <= 1e-300 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
     }
     let var_plus = (n - 1) as f64 / n as f64 * w + b_over_n;
     (var_plus / w).sqrt()

@@ -59,11 +59,14 @@ impl<M: Send> RankCtx<M> {
     /// Blocking receive of the first message satisfying `pred`;
     /// non-matching messages are buffered in arrival order.
     pub fn recv_match(&mut self, mut pred: impl FnMut(&Envelope<M>) -> bool) -> Envelope<M> {
-        if let Some(pos) = self.buffer.iter().position(|e| pred(e)) {
+        if let Some(pos) = self.buffer.iter().position(&mut pred) {
             return self.buffer.remove(pos).unwrap();
         }
         loop {
-            let env = self.rx.recv().expect("RankCtx::recv_match: universe torn down");
+            let env = self
+                .rx
+                .recv()
+                .expect("RankCtx::recv_match: universe torn down");
             if pred(&env) {
                 return env;
             }

@@ -283,10 +283,8 @@ pub fn simulate(config: &DesConfig) -> DesResult {
                     // — emigration must not starve the level it leaves
                     let throughput_safe = if level + 1 < n_levels {
                         let supply_after = (level_count[level].saturating_sub(1)) as f64
-                            / (config.subsampling[level].max(1) as f64
-                                * config.eval_time[level]);
-                        let demand =
-                            level_count[level + 1] as f64 / config.eval_time[level + 1];
+                            / (config.subsampling[level].max(1) as f64 * config.eval_time[level]);
+                        let demand = level_count[level + 1] as f64 / config.eval_time[level + 1];
                         supply_after >= demand
                     } else {
                         true
@@ -464,7 +462,7 @@ mod tests {
         let mk = |mult: usize| {
             let mut cfg = base_config();
             cfg.samples_per_level = vec![2000, 200, 20];
-            cfg.chains_per_level = vec![2 * mult, 1 * mult, 1 * mult];
+            cfg.chains_per_level = vec![2 * mult, mult, mult];
             simulate(&cfg).makespan
         };
         let s_small = mk(1) / mk(4);
@@ -509,7 +507,10 @@ mod tests {
             balanced.makespan,
             fixed.makespan
         );
-        assert!(balanced.reassignments > 0, "idle chains should be reassigned");
+        assert!(
+            balanced.reassignments > 0,
+            "idle chains should be reassigned"
+        );
     }
 
     #[test]
@@ -534,7 +535,10 @@ mod tests {
         let chains = distribute_chains(10, &[0.15, 0.001, 0.00004], &[0.003, 0.045, 0.93]);
         assert_eq!(chains.iter().sum::<usize>(), 10);
         assert!(chains.iter().all(|&c| c >= 1));
-        assert!(chains[0] >= chains[2], "coarse level carries most effort: {chains:?}");
+        assert!(
+            chains[0] >= chains[2],
+            "coarse level carries most effort: {chains:?}"
+        );
     }
 
     #[test]

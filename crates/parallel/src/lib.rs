@@ -21,6 +21,8 @@
 //!   policy in virtual time, used to reproduce the strong/weak scaling
 //!   studies (Figs. 11–12) beyond the physical core count.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod comm;
 pub mod des;
 pub mod scheduler;

@@ -73,7 +73,10 @@ pub enum Msg {
     /// Collector → root at shutdown: accumulated statistics.
     CollectorReport(Box<CollectorData>),
     /// Controller → root at exit: per-level evaluation counts.
-    ControllerReport { evals: Vec<usize>, eval_secs: Vec<f64> },
+    ControllerReport {
+        evals: Vec<usize>,
+        eval_secs: Vec<f64>,
+    },
 }
 
 /// Data a collector ships back to the root.
@@ -291,11 +294,7 @@ fn collector_rank(level: usize) -> usize {
 // roles
 // ---------------------------------------------------------------------
 
-fn root_role(
-    ctx: &mut RankCtx<Msg>,
-    config: &ParallelConfig,
-    start: Instant,
-) -> ParallelReport {
+fn root_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, start: Instant) -> ParallelReport {
     let n_levels = config.n_levels();
     let n_controllers = ctx.size() - config.first_controller_rank();
     let mut done = vec![false; n_levels];
@@ -390,8 +389,7 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
     let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
     let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
     let mut level_of: std::collections::HashMap<usize, usize> = (config.first_controller_rank()
-        ..config.first_controller_rank()
-            + config.chains_per_level.iter().sum::<usize>())
+        ..config.first_controller_rank() + config.chains_per_level.iter().sum::<usize>())
         .map(|rank| (rank, config.initial_level(rank)))
         .collect();
     let mut done = vec![false; n_levels];
@@ -452,8 +450,7 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
         let donor_level = (0..n_levels).filter(|&m| m != starved).find(|&m| {
             let idle = ready[m].len();
             let group_count = level_of.values().filter(|&&l| l == m).count();
-            let still_needed =
-                (m + 1..n_levels).any(|f| !done[f]) || !done[m];
+            let still_needed = (m + 1..n_levels).any(|f| !done[f]) || !done[m];
             if done[m] && pending[m].is_empty() {
                 idle >= 1 && (!still_needed || group_count >= 2)
             } else {
@@ -506,22 +503,20 @@ fn collector_role(ctx: &mut RankCtx<Msg>, level: usize, config: &ParallelConfig)
                 theta,
                 fine_qoi,
                 coarse_qoi,
-            } if l == level => {
-                if count < target {
-                    moments
-                        .get_or_insert_with(|| VectorMoments::new(y.len()))
-                        .push(&y);
-                    count += 1;
-                    if config.record_samples {
-                        theta_samples.push(theta);
-                        if let Some(cq) = coarse_qoi {
-                            correction_pairs.push((cq, fine_qoi));
-                        }
+            } if l == level && count < target => {
+                moments
+                    .get_or_insert_with(|| VectorMoments::new(y.len()))
+                    .push(&y);
+                count += 1;
+                if config.record_samples {
+                    theta_samples.push(theta);
+                    if let Some(cq) = coarse_qoi {
+                        correction_pairs.push((cq, fine_qoi));
                     }
-                    if count == target && !done_sent {
-                        done_sent = true;
-                        ctx.send(ROOT, Msg::LevelDone { level });
-                    }
+                }
+                if count == target && !done_sent {
+                    done_sent = true;
+                    ctx.send(ROOT, Msg::LevelDone { level });
                 }
             }
             Msg::Shutdown => {
@@ -754,8 +749,16 @@ fn controller_role(
             c.send(reply_to, Msg::Poison);
         }
     }
-    let evals: Vec<usize> = harness.counters.iter().map(EvalCounter::evaluations).collect();
-    let eval_secs: Vec<f64> = harness.counters.iter().map(EvalCounter::total_secs).collect();
+    let evals: Vec<usize> = harness
+        .counters
+        .iter()
+        .map(EvalCounter::evaluations)
+        .collect();
+    let eval_secs: Vec<f64> = harness
+        .counters
+        .iter()
+        .map(EvalCounter::total_secs)
+        .collect();
     c.send(ROOT, Msg::ControllerReport { evals, eval_secs });
 }
 
@@ -933,7 +936,9 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, SpanKind::Burnin { .. })));
-        assert!(events.iter().any(|e| matches!(e.kind, SpanKind::Eval { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, SpanKind::Eval { .. })));
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl Tracer {
                 SpanKind::Serve { level } => ("serve", level as isize),
                 SpanKind::Reassign { to, .. } => ("reassign", to as isize),
             };
-            out.push_str(&format!("{},{},{},{:.6},{:.6}\n", e.rank, kind, level, e.start, e.end));
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6}\n",
+                e.rank, kind, level, e.start, e.end
+            ));
         }
         out
     }

@@ -203,8 +203,14 @@ impl KlField2d {
     /// # Panics
     /// Panics if `theta.len() != self.dim()`.
     pub fn log_kappa(&self, theta: &[f64], x: f64, y: f64) -> f64 {
-        assert_eq!(theta.len(), self.dim(), "log_kappa: wrong parameter dimension");
-        (0..self.dim()).map(|k| self.basis(k, x, y) * theta[k]).sum()
+        assert_eq!(
+            theta.len(),
+            self.dim(),
+            "log_kappa: wrong parameter dimension"
+        );
+        (0..self.dim())
+            .map(|k| self.basis(k, x, y) * theta[k])
+            .sum()
     }
 
     /// Evaluate `κ = exp(log κ)`.
@@ -289,8 +295,8 @@ mod tests {
         // with many modes the Mercer sum reproduces exp(-|s-t|/l) away from
         // the diagonal kink
         let kl = Kl1d::new(CORR_LEN, 200);
-        for (s, t) in [(0.2, 0.6), (0.5, 0.5), (0.1, 0.9), (0.45, 0.55)] {
-            let exact = (-(s as f64 - t as f64).abs() / CORR_LEN).exp();
+        for (s, t) in [(0.2f64, 0.6), (0.5, 0.5), (0.1, 0.9), (0.45, 0.55)] {
+            let exact = (-(s - t).abs() / CORR_LEN).exp();
             let approx = kl.mercer_sum(s, t);
             assert!(
                 (exact - approx).abs() < 0.02,
@@ -370,7 +376,10 @@ mod tests {
         let v_big = f_big.truncated_variance(x, y);
         assert!(v_small < v_big);
         assert!(v_big <= 1.0 + 1e-6);
-        assert!(v_big > 0.9, "400 modes should capture >90% variance, got {v_big}");
+        assert!(
+            v_big > 0.9,
+            "400 modes should capture >90% variance, got {v_big}"
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   2-D structured grids, used here for validation and as an alternative
 //!   sampling path.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod circulant;
 pub mod kl;
 

@@ -50,9 +50,7 @@ fn profile(x: f64, y: f64, sharpness: f64) -> f64 {
     let dyt = y / (400.0 * km);
     b += -2_000.0 * (-(dxt * dxt) - dyt * dyt * 0.3).exp() * sharpness;
     // gentle seamounts in the basin
-    b += 300.0
-        * sharpness
-        * ((x / (180.0 * km)).sin() * (y / (230.0 * km)).cos()).powi(2);
+    b += 300.0 * sharpness * ((x / (180.0 * km)).sin() * (y / (230.0 * km)).cos()).powi(2);
     b
 }
 
@@ -111,7 +109,10 @@ mod tests {
 
     #[test]
     fn west_is_land_east_is_deep() {
-        assert!(evaluate(Fidelity::Full, -480_000.0, 0.0) > 0.0, "west should be land");
+        assert!(
+            evaluate(Fidelity::Full, -480_000.0, 0.0) > 0.0,
+            "west should be land"
+        );
         assert!(
             evaluate(Fidelity::Full, 400_000.0, 0.0) < -5_000.0,
             "east should be deep ocean"
@@ -130,7 +131,10 @@ mod tests {
         let avg = depth_average();
         assert!(avg < -2_000.0 && avg > -8_000.0, "average depth {avg}");
         assert_eq!(evaluate(Fidelity::DepthAveraged, 0.0, 0.0), avg);
-        assert_eq!(evaluate(Fidelity::DepthAveraged, 300_000.0, -200_000.0), avg);
+        assert_eq!(
+            evaluate(Fidelity::DepthAveraged, 300_000.0, -200_000.0),
+            avg
+        );
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
         let r = Cons::new(1.0, 0.0, 0.0); // b = -1, surface 0
         let (ls, rs, b_star) = hydrostatic_reconstruction(l, -3.0, r, -1.0);
         assert_eq!(b_star, -1.0);
-        assert!((ls.h - rs.h).abs() < 1e-14, "lake at rest must reconstruct equal depths");
+        assert!(
+            (ls.h - rs.h).abs() < 1e-14,
+            "lake at rest must reconstruct equal depths"
+        );
         assert!((ls.h - 1.0).abs() < 1e-14);
     }
 

@@ -50,9 +50,10 @@ impl Gauge {
     ///
     /// Returns `(0.0, 0.0)` for an empty series.
     pub fn max_height_and_time(&self) -> (f64, f64) {
-        self.series
-            .iter()
-            .fold((0.0, 0.0), |(mh, mt), &(t, h)| if h > mh { (h, t) } else { (mh, mt) })
+        self.series.iter().fold(
+            (0.0, 0.0),
+            |(mh, mt), &(t, h)| if h > mh { (h, t) } else { (mh, mt) },
+        )
     }
 
     pub fn clear(&mut self) {

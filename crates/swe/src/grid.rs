@@ -21,7 +21,10 @@ impl Grid2d {
     /// Panics for empty grids or inverted extents.
     pub fn new(nx: usize, ny: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
         assert!(nx > 0 && ny > 0, "Grid2d: need at least one cell");
-        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "Grid2d: bad extents");
+        assert!(
+            x_range.1 > x_range.0 && y_range.1 > y_range.0,
+            "Grid2d: bad extents"
+        );
         Self {
             nx,
             ny,

@@ -23,6 +23,8 @@
 //!   level-dependent Gaussian likelihood (Table 1) and cut-off prior,
 //!   exposed as a [`uq_mcmc::SamplingProblem`] hierarchy.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod bathymetry;
 pub mod flux;
 pub mod gauge;

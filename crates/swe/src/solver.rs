@@ -246,10 +246,26 @@ impl SweSolver {
                 let c = prim(idx);
                 let wet = |ii: usize, jj: usize| state.h[self.grid.idx(ii, jj)] > 10.0 * H_DRY;
                 let self_wet = state.h[idx] > 10.0 * H_DRY;
-                let e = if i + 1 < nx { prim(self.grid.idx(i + 1, j)) } else { c };
-                let w = if i > 0 { prim(self.grid.idx(i - 1, j)) } else { c };
-                let n = if j + 1 < ny { prim(self.grid.idx(i, j + 1)) } else { c };
-                let s = if j > 0 { prim(self.grid.idx(i, j - 1)) } else { c };
+                let e = if i + 1 < nx {
+                    prim(self.grid.idx(i + 1, j))
+                } else {
+                    c
+                };
+                let w = if i > 0 {
+                    prim(self.grid.idx(i - 1, j))
+                } else {
+                    c
+                };
+                let n = if j + 1 < ny {
+                    prim(self.grid.idx(i, j + 1))
+                } else {
+                    c
+                };
+                let s = if j > 0 {
+                    prim(self.grid.idx(i, j - 1))
+                } else {
+                    c
+                };
                 let neighbors_wet = self_wet
                     && (i + 1 >= nx || wet(i + 1, j))
                     && (i == 0 || wet(i - 1, j))
@@ -391,7 +407,13 @@ impl SweSolver {
     }
 
     /// One forward-Euler stage from `state` using precomputed flux arrays.
-    fn apply_fluxes(&self, state: &SweState, fx: &[FaceFlux], fy: &[FaceFlux], dt: f64) -> SweState {
+    fn apply_fluxes(
+        &self,
+        state: &SweState,
+        fx: &[FaceFlux],
+        fy: &[FaceFlux],
+        dt: f64,
+    ) -> SweState {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let dx = self.grid.dx();
@@ -437,12 +459,7 @@ impl SweSolver {
 
     /// Full candidate step (Euler for first order, Heun/SSP-RK2 for second
     /// order), optionally forcing first-order fluxes around masked cells.
-    fn candidate_step(
-        &mut self,
-        prev: &SweState,
-        dt: f64,
-        fo_mask: Option<&[bool]>,
-    ) -> SweState {
+    fn candidate_step(&mut self, prev: &SweState, dt: f64, fo_mask: Option<&[bool]>) -> SweState {
         let second_order = matches!(self.scheme, Scheme::SecondOrder { .. });
         let mut fx = Vec::new();
         let mut fy = Vec::new();
@@ -490,7 +507,10 @@ impl SweSolver {
             for di in -1isize..=1 {
                 let ni = i as isize + di;
                 let nj = j as isize + dj;
-                if ni < 0 || nj < 0 || ni >= self.grid.nx() as isize || nj >= self.grid.ny() as isize
+                if ni < 0
+                    || nj < 0
+                    || ni >= self.grid.nx() as isize
+                    || nj >= self.grid.ny() as isize
                 {
                     continue;
                 }
@@ -581,7 +601,8 @@ mod tests {
         let grid = flat_grid(16);
         let bathy = bumpy_bathy(&grid);
         let state = SweState::lake_at_rest(&bathy, 0.0);
-        let mut solver = SweSolver::new(grid, bathy, state, Scheme::FirstOrder, Boundary::Reflective);
+        let mut solver =
+            SweSolver::new(grid, bathy, state, Scheme::FirstOrder, Boundary::Reflective);
         for _ in 0..20 {
             solver.step();
         }
@@ -708,8 +729,7 @@ mod tests {
                 state.h[grid.idx(i, j)] += 1.0;
             }
         }
-        let mut solver =
-            SweSolver::new(grid, bathy, state, Scheme::FirstOrder, Boundary::Outflow);
+        let mut solver = SweSolver::new(grid, bathy, state, Scheme::FirstOrder, Boundary::Outflow);
         let dt_total: f64 = (0..10).map(|_| solver.step()).sum();
         let c = (G * 100.0f64).sqrt();
         let expected_travel = c * dt_total;
@@ -746,9 +766,8 @@ mod tests {
         let mut so = make(Scheme::SecondOrder { limiter: false });
         fo.run(10.0, |_| {});
         so.run(10.0, |_| {});
-        let peak = |s: &SweSolver| {
-            (0..s.grid().n_cells()).fold(0.0f64, |m, idx| m.max(s.surface(idx)))
-        };
+        let peak =
+            |s: &SweSolver| (0..s.grid().n_cells()).fold(0.0f64, |m, idx| m.max(s.surface(idx)));
         assert!(
             peak(&so) > peak(&fo),
             "2nd order peak {} should exceed 1st order {}",
@@ -790,7 +809,10 @@ mod tests {
                 break;
             }
         }
-        assert!(max_probe > 0.01, "wave should reach the probe, max {max_probe}");
+        assert!(
+            max_probe > 0.01,
+            "wave should reach the probe, max {max_probe}"
+        );
     }
 
     #[test]

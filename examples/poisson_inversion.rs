@@ -44,11 +44,7 @@ fn main() {
     for lvl in &report.levels {
         println!(
             "level {}: {} samples, acceptance {:.2}, {} model evals at {:.2} ms each",
-            lvl.level,
-            lvl.n_samples,
-            lvl.acceptance_rate,
-            lvl.evaluations,
-            lvl.mean_eval_ms
+            lvl.level, lvl.n_samples, lvl.acceptance_rate, lvl.evaluations, lvl.mean_eval_ms
         );
     }
     // correction variance must be far below the level-0 variance — the

@@ -55,8 +55,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let report = run_sequential(&TwoLevelGaussian, &config, &mut rng);
 
-    println!("level 0: E[Q_0]        = {:+.4}", report.levels[0].mean_correction[0]);
-    println!("level 1: E[Q_1 - Q_0]  = {:+.4}", report.levels[1].mean_correction[0]);
+    println!(
+        "level 0: E[Q_0]        = {:+.4}",
+        report.levels[0].mean_correction[0]
+    );
+    println!(
+        "level 1: E[Q_1 - Q_0]  = {:+.4}",
+        report.levels[1].mean_correction[0]
+    );
     println!(
         "telescoping estimate   = {:+.4}  (true fine mean: +1.0000)",
         report.expectation()[0]
@@ -69,5 +75,9 @@ fn main() {
         "fine-level acceptance {:.2}, IACT {:.2} (coarse proposals are nearly independent)",
         report.levels[1].acceptance_rate, report.levels[1].iact
     );
-    assert!((report.expectation()[0] - 1.0).abs() < 0.05);
+    // tolerance covers both Monte Carlo noise and the finite-subsampling
+    // pairing bias of the sequential estimator (~0.04 here; see the
+    // "estimator pairing" note in DESIGN.md): the served coarse stream
+    // has marginal π_fine·K^ρ rather than π_coarse for finite ρ
+    assert!((report.expectation()[0] - 1.0).abs() < 0.1);
 }

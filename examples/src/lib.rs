@@ -1,0 +1,6 @@
+//! Host package for the runnable examples at the repository's
+//! `examples/` root (`quickstart`, `poisson_inversion`,
+//! `tsunami_source_inversion`, `custom_model`). Run one with e.g.
+//! `cargo run --release -p uq-examples --example quickstart`.
+
+#![deny(rustdoc::broken_intra_doc_links)]

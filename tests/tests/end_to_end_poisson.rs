@@ -22,7 +22,10 @@ fn three_level_poisson_pipeline_runs_green() {
     // QOI is the kappa field on the 33x33 grid
     let est = report.expectation();
     assert_eq!(est.len(), 1089);
-    assert!(est.iter().all(|v| v.is_finite() && *v > 0.0), "kappa must stay positive");
+    assert!(
+        est.iter().all(|v| v.is_finite() && *v > 0.0),
+        "kappa must stay positive"
+    );
     // eval accounting: coarse level carries the most evaluations
     assert!(report.levels[0].evaluations > report.levels[1].evaluations);
     assert!(report.levels[1].evaluations > report.levels[2].evaluations);
@@ -50,7 +53,10 @@ fn posterior_mean_field_beats_prior_mean_field() {
     // (kappa = 1 everywhere)
     let factory = small_factory();
     let truth = factory.hierarchy().true_qoi();
-    let config = MlmcmcConfig::new(vec![800, 120, 20]).with_burn_in(vec![150, 30, 8]);
+    // the level-correction terms are exp-scale and heavy-tailed, so the
+    // estimator needs a few thousand coarse samples before it reliably
+    // beats the prior; still ~2 s at opt-level 2
+    let config = MlmcmcConfig::new(vec![6000, 900, 150]).with_burn_in(vec![600, 120, 30]);
     let mut rng = StdRng::seed_from_u64(17);
     let report = run_sequential(&factory, &config, &mut rng);
     let est = report.expectation();
@@ -82,6 +88,9 @@ fn proposal_kinds_all_run() {
         let config = MlmcmcConfig::new(vec![100, 20]).with_burn_in(vec![20, 5]);
         let mut rng = StdRng::seed_from_u64(19);
         let report = run_sequential(&factory, &config, &mut rng);
-        assert!(report.expectation().iter().all(|v| v.is_finite()), "{kind:?}");
+        assert!(
+            report.expectation().iter().all(|v| v.is_finite()),
+            "{kind:?}"
+        );
     }
 }

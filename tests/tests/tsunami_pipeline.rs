@@ -18,13 +18,18 @@ fn two_level_tsunami_inversion_runs() {
     assert_eq!(est.len(), 2);
     assert!(est[0].is_finite() && est[1].is_finite());
     // the posterior keeps the source inside the admissible box
-    assert!(est[0].abs() < 200.0 && est[1].abs() < 200.0, "estimate {est:?}");
+    assert!(
+        est[0].abs() < 200.0 && est[1].abs() < 200.0,
+        "estimate {est:?}"
+    );
 }
 
 #[test]
 fn tsunami_recording_produces_fig14_pairs() {
     let hierarchy = TsunamiHierarchy::new(TINY);
-    let config = MlmcmcConfig::new(vec![40, 20]).with_burn_in(vec![5, 2]).recording();
+    let config = MlmcmcConfig::new(vec![40, 20])
+        .with_burn_in(vec![5, 2])
+        .recording();
     let mut rng = StdRng::seed_from_u64(7);
     let report = run_sequential(&hierarchy, &config, &mut rng);
     assert_eq!(report.levels[1].correction_pairs.len(), 20);
@@ -52,7 +57,10 @@ fn deeper_levels_reproduce_data_better() {
     };
     let m2 = misfit(2);
     let m0 = misfit(0);
-    assert!(m2 < 1e-9, "finest level reproduces its own data, misfit {m2}");
+    assert!(
+        m2 < 1e-9,
+        "finest level reproduces its own data, misfit {m2}"
+    );
     assert!(m0 > m2, "coarse model must carry model error");
 }
 

@@ -1,0 +1,46 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Only [`channel`] is provided, backed by `std::sync::mpsc`. The
+//! workspace's communication layer (`uq-parallel`) uses exactly the
+//! MPSC subset — cloneable senders, single receiver per rank — so the
+//! std channel is a faithful substitute for `crossbeam::channel`'s
+//! unbounded channel here.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// Unbounded MPSC channels (crossbeam-channel API subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded channel; sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fan_in() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_is_err_not_panic() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

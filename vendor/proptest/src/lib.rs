@@ -1,0 +1,296 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], range and
+//! tuple [`Strategy`] values and [`collection::vec`]. Unlike the real
+//! proptest there is no shrinking — a failing case reports its case
+//! index and seed so it can be replayed via `PROPTEST_SEED`. The number
+//! of cases per property defaults to 64 and can be raised with
+//! `PROPTEST_CASES`.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Strategy, TestCaseError};
+}
+
+/// Failure raised by the `prop_assert*` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                // wrapping: the span of e.g. i64::MIN..i64::MAX exceeds i64::MAX
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        self.start + (self.end - self.start) * rng.random::<f32>()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Length specification for [`collection::vec`]: a fixed size or a
+/// half-open range of sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec-size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|s| s.parse().ok())
+}
+
+/// Run `body` over `PROPTEST_CASES` (default 64) generated cases.
+/// Deterministic per test name; `PROPTEST_SEED` replays a single case.
+pub fn run_cases<F>(test_name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    if let Some(seed) = env_u64("PROPTEST_SEED") {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest `{test_name}` failed under PROPTEST_SEED={seed}: {e}");
+        }
+        return;
+    }
+    let cases = env_u64("PROPTEST_CASES").unwrap_or(64);
+    let base = fnv1a(test_name.as_bytes());
+    for case in 0..cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {case}/{cases}: {e}\n\
+                 replay with PROPTEST_SEED={seed}"
+            );
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $( let $arg = $crate::Strategy::generate(&($strat), __proptest_rng); )*
+                    let __proptest_out: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __proptest_out
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case
+/// with a replayable report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a == __b, "assertion failed: {:?} == {:?}", __a, __b);
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a != __b, "assertion failed: {:?} != {:?}", __a, __b);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in -2f64..3.0,
+            n in 1usize..10,
+            v in prop::collection::vec(0u64..100, 2..5),
+        ) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n), "n = {n}");
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn tuples_and_nested_vecs(
+            entries in prop::collection::vec((0usize..6, -5f64..5.0), 0..8),
+            rows in prop::collection::vec(prop::collection::vec(-1f64..1.0, 3), 3),
+        ) {
+            prop_assert!(entries.len() < 8);
+            prop_assert_eq!(rows.len(), 3);
+            prop_assert!(rows.iter().all(|r| r.len() == 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with PROPTEST_SEED=")]
+    fn failing_case_reports_seed() {
+        crate::run_cases("always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+}

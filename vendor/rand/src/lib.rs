@@ -1,0 +1,210 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the (small) slice of the `rand` 0.9 API the workspace uses:
+//!
+//! * [`Rng`] — the object-safe core trait (`next_u64`/`next_u32`);
+//! * [`RngExt`] — blanket extension supplying the generic
+//!   [`RngExt::random`] used for uniform draws;
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded
+//!   through SplitMix64 (the same construction the xoshiro authors
+//!   recommend; statistical quality is more than sufficient for the
+//!   Monte Carlo tests in this workspace).
+//!
+//! The implementation is deterministic and dependency-free. Swapping the
+//! real `rand` back in only requires replacing the `[patch]`-free path
+//! dependency in the workspace manifests; the API subset here is
+//! call-compatible.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// Object-safe random number generator core: a source of uniform 64-bit
+/// words. Mirrors `rand::RngCore` + `rand::Rng` collapsed into one trait
+/// (the workspace only needs uniform `f64` draws on top of raw words).
+pub trait Rng {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (upper bits of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG ("standard"
+/// distribution): the target of [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience extension over any [`Rng`] (including `dyn Rng`).
+pub trait RngExt: Rng {
+    /// Draw a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform draw in `[low, high)`.
+    fn random_range(&mut self, low: f64, high: f64) -> f64 {
+        low + (high - low) * self.random::<f64>()
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic standard RNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Not the same stream as upstream `rand`'s `StdRng` (which is
+    /// ChaCha-based), but every consumer in this workspace seeds
+    /// explicitly via [`SeedableRng::seed_from_u64`] and only relies on
+    /// determinism and statistical quality, not on a specific stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, 2019)
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_dyn_rng() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x: f64 = dyn_rng.random();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

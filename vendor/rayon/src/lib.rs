@@ -1,0 +1,147 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the tiny slice of the rayon API this workspace uses —
+//! `(range).into_par_iter().map(f).collect()/.sum()` — with a real
+//! multi-threaded implementation on top of `std::thread::scope`: the
+//! index range is split into one contiguous chunk per available core and
+//! the chunks are mapped concurrently. Results are returned in index
+//! order, exactly like rayon's indexed parallel iterators.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::ops::Range;
+
+/// Rayon-style prelude: import the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParMap, ParRangeIter};
+}
+
+/// Number of worker threads to use (available parallelism, min 1).
+fn n_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (only `Range<usize>` is needed
+/// by this workspace).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRangeIter;
+
+    fn into_par_iter(self) -> ParRangeIter {
+        ParRangeIter { range: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRangeIter {
+    range: Range<usize>,
+}
+
+impl ParRangeIter {
+    /// Map each index through `f` (executed concurrently, chunked by
+    /// core count; output preserves index order).
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRangeIter::map`]: a mapped parallel iterator
+/// awaiting a terminal operation (`collect` or `sum`).
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    fn run<T>(self) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let len = self.range.len();
+        let workers = n_threads().min(len.max(1));
+        if workers <= 1 || len < 2 {
+            return self.range.map(self.f).collect();
+        }
+        let start = self.range.start;
+        let chunk = len.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = start + w * chunk;
+                    let hi = (lo + chunk).min(start + len);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Collect mapped values in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromIterator<T>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Sum mapped values.
+    pub fn sum<T, S>(self) -> S
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        S: std::iter::Sum<T>,
+    {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let par: u64 = (0..1000).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(par, 499_500);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (5..6).into_par_iter().map(|i| i).collect();
+        assert_eq!(one, vec![5]);
+    }
+}
