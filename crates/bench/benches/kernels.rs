@@ -1,17 +1,40 @@
 //! Criterion micro-benchmarks of the numerical kernels underneath the
-//! MLMCMC stack: sparse mat-vec, preconditioned CG, FFT, KL tabulation
-//! and Gaussian sampling.
+//! MLMCMC stack: sparse mat-vec, stiffness assembly (COO rebuild vs
+//! in-place refill), preconditioned CG (plain/SSOR/multigrid), the MG
+//! V-cycle, FFT, KL tabulation and Gaussian sampling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use uq_bench::pipeline_bench::{bench_hierarchy, bench_kappa};
 use uq_fem::assembly::assemble;
-use uq_fem::StructuredGrid;
+use uq_fem::{StiffnessOperator, StructuredGrid};
 use uq_linalg::fft::{fft_in_place, Complex};
 use uq_linalg::prob::standard_normal_vec;
 use uq_linalg::solvers::{cg, IdentityPrecond, SolverOptions, SsorPrecond};
 use uq_randfield::KlField2d;
+
+/// Per-κ operator update: legacy COO assembly + sort vs in-place refill
+/// through the precomputed scatter map.
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    for n in [16usize, 64] {
+        let grid = StructuredGrid::new(n);
+        let kappa = bench_kappa(&grid);
+        group.bench_with_input(BenchmarkId::new("coo_sort", n), &n, |b, _| {
+            b.iter(|| black_box(assemble(&grid, &kappa)));
+        });
+        group.bench_with_input(BenchmarkId::new("refill", n), &n, |b, _| {
+            let mut op = StiffnessOperator::new(&grid);
+            b.iter(|| {
+                op.refill(black_box(&kappa));
+                black_box(op.matrix().nnz())
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr_matvec");
@@ -33,9 +56,7 @@ fn bench_cg(c: &mut Criterion) {
     group.sample_size(20);
     for n in [16usize, 64] {
         let grid = StructuredGrid::new(n);
-        let kappa: Vec<f64> = (0..grid.n_elements())
-            .map(|e| 1.0 + 0.5 * ((e % 7) as f64 / 7.0))
-            .collect();
+        let kappa = bench_kappa(&grid);
         let sys = assemble(&grid, &kappa);
         group.bench_with_input(BenchmarkId::new("ssor", n), &n, |b, _| {
             let pre = SsorPrecond::new(&sys.matrix, 1.0);
@@ -56,6 +77,32 @@ fn bench_cg(c: &mut Criterion) {
                 );
                 assert!(r.converged);
                 black_box(r.x)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mg", n), &n, |b, _| {
+            let h = bench_hierarchy(n);
+            b.iter(|| {
+                let r = cg(h.matrix(0), &sys.rhs, None, &h, SolverOptions::default());
+                assert!(r.converged);
+                black_box(r.x)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Single V-cycle application (the per-CG-iteration preconditioner cost).
+fn bench_vcycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mg_vcycle");
+    for n in [16usize, 64] {
+        let h = bench_hierarchy(n);
+        let nodes = (n + 1) * (n + 1);
+        let r: Vec<f64> = (0..nodes).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut z = vec![0.0; nodes];
+            b.iter(|| {
+                h.vcycle_into(black_box(&r), &mut z);
+                black_box(z[nodes / 2])
             });
         });
     }
@@ -104,7 +151,9 @@ fn bench_sampling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_spmv,
+    bench_assembly,
     bench_cg,
+    bench_vcycle,
     bench_fft,
     bench_kl,
     bench_sampling

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use uq_bench::pipeline_bench::{theta_chain, LegacyForward};
 use uq_fem::PoissonModel;
-use uq_linalg::prob::standard_normal_vec;
 use uq_randfield::circulant::Circulant2d;
 use uq_randfield::KlField2d;
 use uq_swe::solver::{Boundary, Scheme, SweSolver, SweState};
@@ -17,14 +17,40 @@ fn bench_poisson_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("poisson_forward");
     group.sample_size(10);
     let field = KlField2d::new(0.15, 1.0, 113);
-    let mut rng = StdRng::seed_from_u64(1);
-    let theta = standard_normal_vec(&mut rng, 113);
+    let thetas = theta_chain(1, 113, 16);
     // level 0 and 1 of the paper's hierarchy (level 2 is benched by the
     // table3 experiment binary; it is too slow for criterion's defaults)
     for n in [16usize, 64] {
         let mut model = PoissonModel::new(n, &field);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(model.forward(&theta)));
+            let mut k = 0;
+            b.iter(|| {
+                let theta = &thetas[k % thetas.len()];
+                k += 1;
+                black_box(model.forward(theta))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The pre-PR-2 pipeline (see [`LegacyForward`]) for comparison with
+/// `poisson_forward`, driven by the same θ chain.
+fn bench_poisson_forward_legacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_forward_legacy");
+    group.sample_size(10);
+    let field = KlField2d::new(0.15, 1.0, 113);
+    let thetas = theta_chain(1, 113, 16);
+    for n in [16usize, 64] {
+        let model = PoissonModel::new(n, &field);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut legacy = LegacyForward::new(&model);
+            let mut k = 0;
+            b.iter(|| {
+                let theta = &thetas[k % thetas.len()];
+                k += 1;
+                black_box(legacy.step(&model, theta))
+            });
         });
     }
     group.finish();
@@ -93,6 +119,7 @@ fn bench_randfield(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_poisson_forward,
+    bench_poisson_forward_legacy,
     bench_swe_step,
     bench_tsunami_forward,
     bench_randfield

@@ -107,6 +107,112 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Shared fixtures for the forward-solve-pipeline benchmarks, used by
+/// both the criterion harnesses (`benches/kernels.rs`,
+/// `benches/models.rs`) and the `perf_baseline` binary so all of them
+/// measure the same κ field, multigrid hierarchy, θ chain and legacy
+/// pipeline — a tweak in one place cannot silently diverge from the
+/// others.
+pub mod pipeline_bench {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uq_fem::assembly::assemble;
+    use uq_fem::poisson::build_mg_hierarchy;
+    use uq_fem::{PoissonModel, StructuredGrid};
+    use uq_linalg::mg::GmgHierarchy;
+    use uq_linalg::prob::standard_normal_vec;
+    use uq_linalg::solvers::{cg, SolverOptions, SsorPrecond};
+
+    /// Deterministic mildly varying diffusion field for kernel benches.
+    pub fn bench_kappa(grid: &StructuredGrid) -> Vec<f64> {
+        (0..grid.n_elements())
+            .map(|e| 1.0 + 0.5 * ((e % 7) as f64 / 7.0))
+            .collect()
+    }
+
+    /// The production multigrid hierarchy for the bench κ.
+    ///
+    /// # Panics
+    /// Panics if the mesh cannot be coarsened (odd or `n ≤ 4`).
+    pub fn bench_hierarchy(fine_n: usize) -> GmgHierarchy {
+        let kappa = bench_kappa(&StructuredGrid::new(fine_n));
+        build_mg_hierarchy(fine_n, &kappa).expect("bench meshes support MG")
+    }
+
+    /// A pCN-like chain of parameter states (β = 0.2): consecutive
+    /// draws are correlated like accepted MCMC moves, so warm starts
+    /// help realistically — but every bench iteration performs a
+    /// genuine solve. Timing one fixed θ would degenerate: after the
+    /// first call the warm start is the exact solution and CG does 0
+    /// iterations, reducing "forward" timings to pure operator-update
+    /// cost.
+    pub fn theta_chain(seed: u64, dim: usize, len: usize) -> Vec<Vec<f64>> {
+        let beta = 0.2f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(len);
+        let mut current = standard_normal_vec(&mut rng, dim);
+        for _ in 0..len {
+            let noise = standard_normal_vec(&mut rng, dim);
+            current = current
+                .iter()
+                .zip(&noise)
+                .map(|(c, z)| (1.0 - beta * beta).sqrt() * c + beta * z)
+                .collect();
+            states.push(current.clone());
+        }
+        states
+    }
+
+    /// The pre-PR-2 forward pipeline, reconstructed for comparison:
+    /// per-solve COO assembly + sort, an SSOR preconditioner over the
+    /// freshly built matrix, and the allocating CG driver (warm start
+    /// kept, as before). The old `SsorPrecond` additionally cloned the
+    /// whole matrix per solve, which this reconstruction does not — so
+    /// legacy timings are a conservative lower bound on the old cost
+    /// and measured speedups understate the real ones.
+    pub struct LegacyForward {
+        grid: StructuredGrid,
+        obs: Vec<(f64, f64)>,
+        opts: SolverOptions,
+        warm: Option<Vec<f64>>,
+    }
+
+    impl LegacyForward {
+        /// Set up for the same grid/observation points as `model`.
+        pub fn new(model: &PoissonModel) -> Self {
+            Self {
+                grid: model.grid().clone(),
+                obs: model.observation_points().to_vec(),
+                opts: SolverOptions {
+                    rel_tol: 1e-8,
+                    ..Default::default()
+                },
+                warm: None,
+            }
+        }
+
+        /// One legacy forward evaluation (κ via `model`, then assemble +
+        /// SSOR-CG + interpolate).
+        ///
+        /// # Panics
+        /// Panics if CG stalls.
+        pub fn step(&mut self, model: &PoissonModel, theta: &[f64]) -> Vec<f64> {
+            let kappa = model.kappa_elements(theta);
+            let sys = assemble(&self.grid, &kappa);
+            let pre = SsorPrecond::new(&sys.matrix, 1.0);
+            let r = cg(&sys.matrix, &sys.rhs, self.warm.as_deref(), &pre, self.opts);
+            assert!(r.converged, "legacy pipeline: CG stalled");
+            let out: Vec<f64> = self
+                .obs
+                .iter()
+                .map(|&(x, y)| self.grid.interpolate(&r.x, x, y))
+                .collect();
+            self.warm = Some(r.x);
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -192,9 +192,7 @@ mod tests {
         // u(1/2) from flux continuity; derive exactly: u(x) = A x for
         // x < 1/2, u = 1 - B(1-x) for x > 1/2; A/2 = 1 - B/2, k1 A = k2 B
         // → A = 2 k2/(k1+k2), u(1/2) = k2/(k1+k2)
-        let expect = k1 / (k1 + k2) * 2.0 * 0.5 / 1.0;
         let expect_exact = k2 / (k1 + k2);
-        let _ = expect;
         assert!(
             (mid - expect_exact).abs() < 1e-6,
             "interface value {mid} vs {expect_exact}"

@@ -18,9 +18,11 @@
 
 pub mod assembly;
 pub mod grid;
+pub mod operator;
 pub mod poisson;
 pub mod problem;
 
 pub use grid::StructuredGrid;
+pub use operator::{StiffnessOperator, StiffnessPattern};
 pub use poisson::PoissonModel;
 pub use problem::{PoissonHierarchy, PoissonProblem};

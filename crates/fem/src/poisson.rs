@@ -4,11 +4,36 @@
 //! points, exactly the paper's Section 3.1 setup: the log-diffusion field
 //! is `log κ = Σ_k √λ_k φ_k θ_k` (correlation length 0.15, variance 1,
 //! `m = 113`), discretized with Q1 elements on a structured grid.
+//!
+//! ## Solver pipeline
+//!
+//! The model is built for the MCMC hot loop: everything `θ`-independent
+//! is constructed once and reused across chain steps, so a steady-state
+//! forward evaluation performs **no heap allocation** besides the small
+//! returned observation vector:
+//!
+//! 1. `κ = exp(Φ_e θ)` is evaluated into a reusable buffer;
+//! 2. a [`StiffnessPattern`] per mesh level refills CSR values and rhs
+//!    in place (no COO rebuild, no sort);
+//! 3. on meshes with an even `n ≥ 8` the system is solved by conjugate
+//!    gradients preconditioned with a geometric multigrid V-cycle whose
+//!    coarse operators are re-discretizations on the coarsened `κ`
+//!    (cached and refilled the same way); smaller/odd meshes fall back
+//!    to SSOR-preconditioned CG;
+//! 4. the previous solution warm-starts the next solve, and all Krylov
+//!    scratch lives in a persistent [`SolverWorkspace`].
+//!
+//! A stalled solve **panics in every profile** — a silently unconverged
+//! forward model would corrupt the posterior, which is strictly worse
+//! than crashing the chain. Per-solve iteration/residual statistics are
+//! recorded for the paper's cost tables.
 
-use crate::assembly::assemble;
 use crate::grid::StructuredGrid;
+use crate::operator::{StiffnessOperator, StiffnessPattern};
+use std::sync::Arc;
 use uq_linalg::dense::DenseMatrix;
-use uq_linalg::solvers::{cg, SolverOptions, SsorPrecond};
+use uq_linalg::mg::{GmgHierarchy, GmgLevelSpec, Smoother};
+use uq_linalg::solvers::{cg_into, SolveStats, SolverOptions, SolverWorkspace, SsorPrecond};
 use uq_randfield::KlField2d;
 
 /// The paper's 36 observation points `{2/32, 7/32, 13/32, 19/32, 25/32,
@@ -43,27 +68,194 @@ pub fn paper_qoi_points() -> Vec<(f64, f64)> {
     pts
 }
 
+/// Average the four fine child elements of each coarse element
+/// (arithmetic mean — adequate for building coarse *preconditioner*
+/// operators; the fine operator is always the exact one).
+pub fn coarsen_kappa(fine_n: usize, fine: &[f64], coarse: &mut [f64]) {
+    let nc = fine_n / 2;
+    debug_assert_eq!(fine.len(), fine_n * fine_n);
+    debug_assert_eq!(coarse.len(), nc * nc);
+    for ey in 0..nc {
+        for ex in 0..nc {
+            let (fx, fy) = (2 * ex, 2 * ey);
+            coarse[ey * nc + ex] = 0.25
+                * (fine[fy * fine_n + fx]
+                    + fine[fy * fine_n + fx + 1]
+                    + fine[(fy + 1) * fine_n + fx]
+                    + fine[(fy + 1) * fine_n + fx + 1]);
+        }
+    }
+}
+
+/// Mesh sizes of the multigrid hierarchy built on an `n × n` grid:
+/// `n, n/2, …` down to the first odd or `≤ 4` size. A hierarchy exists
+/// (and [`PoissonModel`] uses multigrid) only when this has at least two
+/// entries.
+pub fn mg_level_sizes(fine_n: usize) -> Vec<usize> {
+    let mut sizes = vec![fine_n];
+    loop {
+        let n = *sizes.last().expect("non-empty");
+        if n.is_multiple_of(2) && n > 4 {
+            sizes.push(n / 2);
+        } else {
+            break;
+        }
+    }
+    sizes
+}
+
+/// Patterns and level specs (values filled for `κ ≡ 1`) for the given
+/// level sizes — the single construction path shared by the model, the
+/// benches and the regression tests.
+fn mg_components(level_sizes: &[usize]) -> (Vec<StiffnessPattern>, Vec<GmgLevelSpec>) {
+    let mut patterns = Vec::with_capacity(level_sizes.len());
+    let mut specs = Vec::with_capacity(level_sizes.len());
+    for &n in level_sizes {
+        let level_grid = StructuredGrid::new(n);
+        let pattern = StiffnessPattern::new(&level_grid);
+        specs.push(GmgLevelSpec {
+            n,
+            matrix: pattern.build_matrix(),
+            fixed: pattern.fixed_mask().to_vec(),
+        });
+        patterns.push(pattern);
+    }
+    (patterns, specs)
+}
+
+/// Build exactly the multigrid hierarchy [`PoissonModel`] solves with
+/// (same level sizes, same symbolic patterns, same 2×2-averaged coarse
+/// `κ`), refilled for the given fine-level coefficients. Returns `None`
+/// when the mesh cannot be coarsened (odd or `n ≤ 4`). Benches and
+/// regression tests use this so they measure the production hierarchy
+/// rather than a reimplementation.
+pub fn build_mg_hierarchy(fine_n: usize, kappa: &[f64]) -> Option<GmgHierarchy> {
+    let sizes = mg_level_sizes(fine_n);
+    if sizes.len() < 2 {
+        return None;
+    }
+    assert_eq!(
+        kappa.len(),
+        fine_n * fine_n,
+        "build_mg_hierarchy: one kappa per fine element required"
+    );
+    let (patterns, mut specs) = mg_components(&sizes);
+    let mut current = kappa.to_vec();
+    for (l, (pattern, spec)) in patterns.iter().zip(&mut specs).enumerate() {
+        if l > 0 {
+            let mut coarse = vec![0.0; sizes[l] * sizes[l]];
+            coarsen_kappa(sizes[l - 1], &current, &mut coarse);
+            current = coarse;
+        }
+        pattern.refill_values(&current, spec.matrix.values_mut());
+    }
+    Some(GmgHierarchy::new(
+        specs,
+        Smoother::RedBlackGaussSeidel,
+        1,
+        1,
+    ))
+}
+
+/// Reusable solve machinery, constructed once per model.
+enum SolverBackend {
+    /// Geometric multigrid V(1,1)-preconditioned CG; requires an even
+    /// `n ≥ 8` so at least one coarser level exists.
+    Multigrid {
+        gmg: GmgHierarchy,
+        /// Symbolic assembly patterns per level, finest first.
+        patterns: Vec<StiffnessPattern>,
+        /// Elements per direction per level, finest first.
+        level_n: Vec<usize>,
+        /// Coarsened-κ buffers for levels `1..` (level `l` at `l − 1`).
+        coarse_kappa: Vec<Vec<f64>>,
+    },
+    /// Single-level SSOR-preconditioned CG fallback for meshes too small
+    /// or odd to coarsen.
+    Ssor { op: StiffnessOperator },
+}
+
+impl SolverBackend {
+    fn build(grid: &StructuredGrid) -> Self {
+        let level_n = mg_level_sizes(grid.n());
+        if level_n.len() < 2 {
+            return Self::Ssor {
+                op: StiffnessOperator::new(grid),
+            };
+        }
+        let (patterns, specs) = mg_components(&level_n);
+        let gmg = GmgHierarchy::new(specs, Smoother::RedBlackGaussSeidel, 1, 1);
+        let coarse_kappa = level_n[1..].iter().map(|&n| vec![0.0; n * n]).collect();
+        Self::Multigrid {
+            gmg,
+            patterns,
+            level_n,
+            coarse_kappa,
+        }
+    }
+
+    /// Human-readable name for logs and cost tables.
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Multigrid { .. } => "mg-cg",
+            Self::Ssor { .. } => "ssor-cg",
+        }
+    }
+}
+
 /// One level of the Poisson forward-model hierarchy.
 pub struct PoissonModel {
     grid: StructuredGrid,
     /// Tabulated KL basis at element centers: `log κ_elems = Φ_e θ`.
-    phi_elements: DenseMatrix,
+    phi_elements: Arc<DenseMatrix>,
     /// Tabulated KL basis at QOI points: `Q(θ) = exp(Φ_q θ)`.
-    phi_qoi: DenseMatrix,
+    phi_qoi: Arc<DenseMatrix>,
     obs_points: Vec<(f64, f64)>,
     opts: SolverOptions,
-    /// Warm-start cache: last solution (same BCs, nearby κ ⇒ few CG iters).
-    last_solution: Option<Vec<f64>>,
+    backend: SolverBackend,
+    /// Fine-level rhs buffer (multigrid path).
+    rhs: Vec<f64>,
+    /// Fine-level κ buffer, refilled per solve.
+    kappa: Vec<f64>,
+    /// Current solution; doubles as the warm start for the next solve.
+    solution: Vec<f64>,
+    workspace: SolverWorkspace,
     /// Count of forward solves (cost bookkeeping for the tables).
     evaluations: usize,
+    last_stats: Option<SolveStats>,
+    total_cg_iterations: usize,
 }
 
 impl PoissonModel {
     /// Build a model on an `n × n` grid with the given KL field.
     pub fn new(n: usize, field: &KlField2d) -> Self {
         let grid = StructuredGrid::new(n);
-        let phi_elements = field.tabulate(&grid.element_centers());
-        let phi_qoi = field.tabulate(&paper_qoi_points());
+        let phi_elements = Arc::new(field.tabulate(&grid.element_centers()));
+        let phi_qoi = Arc::new(field.tabulate(&paper_qoi_points()));
+        Self::with_tabulated(n, phi_elements, phi_qoi)
+    }
+
+    /// Build a model from pre-tabulated KL bases (shared via `Arc`
+    /// across the chains/workers of a hierarchy so each worker skips the
+    /// expensive tabulation).
+    ///
+    /// # Panics
+    /// Panics if `phi_elements` does not have one row per element of the
+    /// `n × n` grid.
+    pub fn with_tabulated(
+        n: usize,
+        phi_elements: Arc<DenseMatrix>,
+        phi_qoi: Arc<DenseMatrix>,
+    ) -> Self {
+        let grid = StructuredGrid::new(n);
+        assert_eq!(
+            phi_elements.rows(),
+            grid.n_elements(),
+            "PoissonModel: tabulated basis does not match the grid"
+        );
+        let backend = SolverBackend::build(&grid);
+        let n_nodes = grid.n_nodes();
+        let n_elements = grid.n_elements();
         Self {
             grid,
             phi_elements,
@@ -73,8 +265,14 @@ impl PoissonModel {
                 rel_tol: 1e-8,
                 ..Default::default()
             },
-            last_solution: None,
+            backend,
+            rhs: vec![0.0; n_nodes],
+            kappa: vec![0.0; n_elements],
+            solution: vec![0.0; n_nodes],
+            workspace: SolverWorkspace::new(),
             evaluations: 0,
+            last_stats: None,
+            total_cg_iterations: 0,
         }
     }
 
@@ -101,6 +299,32 @@ impl PoissonModel {
         self.evaluations
     }
 
+    /// CG iterations of the most recent solve (`0` before any solve).
+    pub fn last_iterations(&self) -> usize {
+        self.last_stats.map_or(0, |s| s.iterations)
+    }
+
+    /// Final residual of the most recent solve (`0.0` before any solve).
+    pub fn last_residual(&self) -> f64 {
+        self.last_stats.map_or(0.0, |s| s.residual)
+    }
+
+    /// Total CG iterations across all solves — the `t_l`-style cost
+    /// counter the paper's tables aggregate per level.
+    pub fn total_cg_iterations(&self) -> usize {
+        self.total_cg_iterations
+    }
+
+    /// Which solve backend this model uses (`"mg-cg"` or `"ssor-cg"`).
+    pub fn solver_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Override the iteration controls (tests and experiments).
+    pub fn set_solver_options(&mut self, opts: SolverOptions) {
+        self.opts = opts;
+    }
+
     /// Element-wise diffusion coefficients `κ = exp(Φ_e θ)`.
     pub fn kappa_elements(&self, theta: &[f64]) -> Vec<f64> {
         self.phi_elements
@@ -110,30 +334,87 @@ impl PoissonModel {
             .collect()
     }
 
-    /// Solve the PDE for parameters `theta`, returning the nodal solution.
-    pub fn solve(&mut self, theta: &[f64]) -> Vec<f64> {
+    /// Evaluate `κ` into the reusable buffer.
+    fn update_kappa(&mut self, theta: &[f64]) {
+        self.phi_elements.matvec_into(theta, &mut self.kappa);
+        for k in &mut self.kappa {
+            *k = k.exp();
+        }
+    }
+
+    /// Refill the per-level operators and solve; the solution lands in
+    /// `self.solution`.
+    ///
+    /// # Panics
+    /// Panics if CG stalls: an unconverged forward solve would silently
+    /// poison the posterior, so it is fatal in every build profile.
+    fn solve_in_place(&mut self, theta: &[f64]) {
         assert_eq!(theta.len(), self.dim(), "PoissonModel::solve: wrong dim");
-        let kappa = self.kappa_elements(theta);
-        let sys = assemble(&self.grid, &kappa);
-        let pre = SsorPrecond::new(&sys.matrix, 1.0);
-        let warm = self.last_solution.as_deref();
-        let result = cg(&sys.matrix, &sys.rhs, warm, &pre, self.opts);
-        debug_assert!(
-            result.converged,
-            "CG stalled at residual {}",
-            result.residual
+        self.update_kappa(theta);
+        let stats = match &mut self.backend {
+            SolverBackend::Multigrid {
+                gmg,
+                patterns,
+                level_n,
+                coarse_kappa,
+            } => {
+                patterns[0].refill_values(&self.kappa, gmg.matrix_mut(0).values_mut());
+                patterns[0].refill_rhs(&self.kappa, &mut self.rhs);
+                for l in 1..level_n.len() {
+                    let (done, rest) = coarse_kappa.split_at_mut(l - 1);
+                    let src: &[f64] = if l == 1 { &self.kappa } else { &done[l - 2] };
+                    coarsen_kappa(level_n[l - 1], src, &mut rest[0]);
+                    patterns[l].refill_values(&rest[0], gmg.matrix_mut(l).values_mut());
+                }
+                gmg.refresh();
+                cg_into(
+                    gmg.matrix(0),
+                    &self.rhs,
+                    &mut self.solution,
+                    &*gmg,
+                    self.opts,
+                    &mut self.workspace,
+                )
+            }
+            SolverBackend::Ssor { op } => {
+                op.refill(&self.kappa);
+                let pre = SsorPrecond::new(op.matrix(), 1.0);
+                cg_into(
+                    op.matrix(),
+                    op.rhs(),
+                    &mut self.solution,
+                    &pre,
+                    self.opts,
+                    &mut self.workspace,
+                )
+            }
+        };
+        assert!(
+            stats.converged,
+            "PoissonModel::solve ({}): CG stalled after {} iterations at residual {:.3e} \
+             (n = {}) — aborting rather than corrupting the posterior",
+            self.backend.name(),
+            stats.iterations,
+            stats.residual,
+            self.grid.n(),
         );
         self.evaluations += 1;
-        self.last_solution = Some(result.x.clone());
-        result.x
+        self.total_cg_iterations += stats.iterations;
+        self.last_stats = Some(stats);
+    }
+
+    /// Solve the PDE for parameters `theta`, returning the nodal solution.
+    pub fn solve(&mut self, theta: &[f64]) -> Vec<f64> {
+        self.solve_in_place(theta);
+        self.solution.clone()
     }
 
     /// Forward map: PDE solution at the observation points.
     pub fn forward(&mut self, theta: &[f64]) -> Vec<f64> {
-        let u = self.solve(theta);
+        self.solve_in_place(theta);
         self.obs_points
             .iter()
-            .map(|&(x, y)| self.grid.interpolate(&u, x, y))
+            .map(|&(x, y)| self.grid.interpolate(&self.solution, x, y))
             .collect()
     }
 
@@ -151,6 +432,8 @@ impl PoissonModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assembly::assemble;
+    use uq_linalg::solvers::{cg, IdentityPrecond};
 
     fn small_field() -> KlField2d {
         KlField2d::new(0.15, 1.0, 16)
@@ -220,5 +503,109 @@ mod tests {
         for k in model.kappa_elements(&theta) {
             assert!(k > 0.0);
         }
+    }
+
+    #[test]
+    fn backend_selection_by_mesh_size() {
+        let field = small_field();
+        assert_eq!(PoissonModel::new(16, &field).solver_name(), "mg-cg");
+        assert_eq!(PoissonModel::new(8, &field).solver_name(), "mg-cg");
+        assert_eq!(PoissonModel::new(4, &field).solver_name(), "ssor-cg");
+        assert_eq!(PoissonModel::new(7, &field).solver_name(), "ssor-cg");
+    }
+
+    #[test]
+    fn mg_solution_matches_direct_solve() {
+        // the full pipeline (refill + MG-CG) against a from-scratch
+        // assemble + plain CG, on a non-trivial κ
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        let theta: Vec<f64> = (0..16).map(|i| 0.4 * ((i as f64 * 2.3).cos())).collect();
+        let u = model.solve(&theta);
+        let kappa = model.kappa_elements(&theta);
+        let sys = assemble(model.grid(), &kappa);
+        let reference = cg(
+            &sys.matrix,
+            &sys.rhs,
+            None,
+            &IdentityPrecond,
+            SolverOptions::default(),
+        );
+        assert!(reference.converged);
+        assert!(
+            uq_linalg::vector::max_abs_diff(&u, &reference.x) < 1e-6,
+            "pipeline and direct solve disagree"
+        );
+    }
+
+    #[test]
+    fn solve_records_iteration_stats() {
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        assert_eq!(model.last_iterations(), 0);
+        model.forward(&[0.1; 16]);
+        assert!(model.last_iterations() > 0);
+        assert!(model.last_residual() >= 0.0);
+        assert_eq!(model.total_cg_iterations(), model.last_iterations());
+        let first = model.total_cg_iterations();
+        model.forward(&[0.0; 16]);
+        assert!(model.total_cg_iterations() >= first);
+    }
+
+    #[test]
+    #[should_panic(expected = "CG stalled")]
+    fn stalled_solve_panics_in_all_profiles() {
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        model.set_solver_options(SolverOptions {
+            rel_tol: 1e-14,
+            abs_tol: 1e-300,
+            max_iter: 1,
+        });
+        model.forward(&[0.3; 16]);
+    }
+
+    #[test]
+    fn build_mg_hierarchy_matches_model_solve() {
+        // the public hierarchy builder must reproduce the model's
+        // internal solve exactly: same fine operator, same coarse
+        // operators, hence the same CG iteration count from a cold start
+        let field = small_field();
+        let mut model = PoissonModel::new(16, &field);
+        let theta: Vec<f64> = (0..16).map(|i| 0.3 * ((i as f64 * 1.1).sin())).collect();
+        model.forward(&theta); // first solve: cold start from zeros
+        let kappa = model.kappa_elements(&theta);
+        let h = build_mg_hierarchy(16, &kappa).expect("n = 16 supports MG");
+        let sys = assemble(model.grid(), &kappa);
+        assert_eq!(h.matrix(0).values(), sys.matrix.values());
+        let r = cg(
+            h.matrix(0),
+            &sys.rhs,
+            None,
+            &h,
+            SolverOptions {
+                rel_tol: 1e-8,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged);
+        assert_eq!(
+            r.iterations,
+            model.last_iterations(),
+            "helper hierarchy diverged from the model's"
+        );
+    }
+
+    #[test]
+    fn coarsen_kappa_averages_children() {
+        let fine = vec![
+            1.0, 2.0, 5.0, 6.0, //
+            3.0, 4.0, 7.0, 8.0, //
+            1.0, 1.0, 2.0, 2.0, //
+            1.0, 1.0, 2.0, 2.0,
+        ];
+        let mut coarse = vec![0.0; 4];
+        coarsen_kappa(4, &fine, &mut coarse);
+        assert_eq!(coarse, vec![2.5, 6.5, 1.0, 2.0]);
     }
 }

@@ -5,9 +5,12 @@
 //! `θ ~ N(0, 4I)`; synthetic data generated from a fixed draw
 //! `θ̂ ~ N(0, I)` (the paper's deliberate "inverse crime", Sec. 3.1).
 
-use crate::poisson::PoissonModel;
+use crate::grid::StructuredGrid;
+use crate::poisson::{paper_qoi_points, PoissonModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use uq_linalg::dense::DenseMatrix;
 use uq_linalg::prob::{isotropic_gaussian_logpdf, standard_normal_vec};
 use uq_mcmc::SamplingProblem;
 use uq_randfield::KlField2d;
@@ -98,11 +101,20 @@ impl SamplingProblem for PoissonProblem {
 
 /// The paper's three-level Poisson hierarchy (mesh widths 1/16, 1/64,
 /// 1/256) sharing one KL field, one synthetic truth and one data vector.
+///
+/// The KL basis tabulations (`Φ_e` per level, `Φ_q` once) are computed
+/// here a single time and handed to every model via `Arc`, so spawning a
+/// per-chain/per-worker [`PoissonProblem`] costs only the (cheap)
+/// solver-pipeline setup instead of re-tabulating the random field.
 pub struct PoissonHierarchy {
     field: KlField2d,
     truth: Vec<f64>,
     data: Vec<f64>,
     level_n: Vec<usize>,
+    /// Tabulated KL basis at element centers, one per level.
+    phi_elements: Vec<Arc<DenseMatrix>>,
+    /// Tabulated KL basis at the (level-independent) QOI points.
+    phi_qoi: Arc<DenseMatrix>,
 }
 
 impl PoissonHierarchy {
@@ -125,14 +137,25 @@ impl PoissonHierarchy {
         let field = KlField2d::new(constants::CORR_LEN, constants::FIELD_VARIANCE, param_dim);
         let mut rng = StdRng::seed_from_u64(truth_seed);
         let truth = standard_normal_vec(&mut rng, param_dim);
+        let phi_elements: Vec<Arc<DenseMatrix>> = level_n
+            .iter()
+            .map(|&n| Arc::new(field.tabulate(&StructuredGrid::new(n).element_centers())))
+            .collect();
+        let phi_qoi = Arc::new(field.tabulate(&paper_qoi_points()));
         let finest = *level_n.last().unwrap();
-        let mut data_model = PoissonModel::new(finest, &field);
+        let mut data_model = PoissonModel::with_tabulated(
+            finest,
+            Arc::clone(phi_elements.last().unwrap()),
+            Arc::clone(&phi_qoi),
+        );
         let data = data_model.forward(&truth);
         Self {
             field,
             truth,
             data,
             level_n,
+            phi_elements,
+            phi_qoi,
         }
     }
 
@@ -166,16 +189,26 @@ impl PoissonHierarchy {
     }
 
     /// Build the sampling problem for level `l` (fresh model instance, so
-    /// independent chains/workers can own one each).
+    /// independent chains/workers can own one each; the heavy KL
+    /// tabulations are shared, each worker only builds its own solver
+    /// pipeline and warm-start state).
     pub fn problem(&self, level: usize) -> PoissonProblem {
-        let model = PoissonModel::new(self.level_n[level], &self.field);
+        let model = PoissonModel::with_tabulated(
+            self.level_n[level],
+            Arc::clone(&self.phi_elements[level]),
+            Arc::clone(&self.phi_qoi),
+        );
         PoissonProblem::new(model, self.data.clone())
     }
 
     /// The true QOI field `κ(x_k, θ̂)` on the QOI grid (for Fig. 10-style
     /// recovery-error reporting).
     pub fn true_qoi(&self) -> Vec<f64> {
-        let model = PoissonModel::new(self.level_n[0], &self.field);
+        let model = PoissonModel::with_tabulated(
+            self.level_n[0],
+            Arc::clone(&self.phi_elements[0]),
+            Arc::clone(&self.phi_qoi),
+        );
         model.qoi(&self.truth)
     }
 }

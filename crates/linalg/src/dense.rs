@@ -78,6 +78,16 @@ impl DenseMatrix {
             .collect()
     }
 
+    /// Matrix–vector product into a caller-provided buffer (keeps the
+    /// per-step `κ = exp(Φθ)` evaluation allocation-free).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output dimension mismatch");
+        for (yi, i) in y.iter_mut().zip(0..self.rows) {
+            *yi = vector::dot(self.row(i), x);
+        }
+    }
+
     /// Transposed matrix–vector product `Aᵀ x`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
@@ -120,25 +130,40 @@ impl DenseMatrix {
     /// definite.
     pub fn cholesky(&self) -> Option<DenseMatrix> {
         assert_eq!(self.rows, self.cols, "cholesky: matrix must be square");
-        let n = self.rows;
-        let mut l = DenseMatrix::zeros(n, n);
+        let mut l = DenseMatrix::zeros(self.rows, self.rows);
+        l.cholesky_from(self).then_some(l)
+    }
+
+    /// Overwrite `self` (an `n × n` scratch matrix) with the lower
+    /// Cholesky factor of `a`, allocating nothing. Returns `false` (with
+    /// `self` in an unspecified state) when `a` is not numerically SPD.
+    /// This is the refactorization path for repeatedly refilled
+    /// operators (e.g. the multigrid coarse level).
+    pub fn cholesky_from(&mut self, a: &DenseMatrix) -> bool {
+        assert_eq!(a.rows, a.cols, "cholesky_from: matrix must be square");
+        let n = a.rows;
+        assert_eq!(self.rows, n, "cholesky_from: scratch shape mismatch");
+        assert_eq!(self.cols, n, "cholesky_from: scratch shape mismatch");
         for i in 0..n {
             for j in 0..=i {
-                let mut s = self[(i, j)];
+                let mut s = a[(i, j)];
                 for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+                    s -= self[(i, k)] * self[(j, k)];
                 }
                 if i == j {
                     if s <= 0.0 {
-                        return None;
+                        return false;
                     }
-                    l[(i, j)] = s.sqrt();
+                    self[(i, j)] = s.sqrt();
                 } else {
-                    l[(i, j)] = s / l[(j, j)];
+                    self[(i, j)] = s / self[(j, j)];
                 }
             }
+            for j in i + 1..n {
+                self[(i, j)] = 0.0;
+            }
         }
-        Some(l)
+        true
     }
 
     /// Solve `L y = b` for lower-triangular `L` (forward substitution).
@@ -170,6 +195,32 @@ impl DenseMatrix {
             x[i] = s / self[(i, i)];
         }
         x
+    }
+
+    /// Solve `L Lᵀ x = b` in place, treating `self` as the lower Cholesky
+    /// factor `L` (as returned by [`cholesky`](Self::cholesky)). Both
+    /// substitutions run inside `x`, so the solve allocates nothing —
+    /// this is the multigrid coarse-level solver's hot path.
+    pub fn solve_cholesky_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.rows;
+        assert_eq!(b.len(), n, "solve_cholesky_into: rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solve_cholesky_into: output dimension mismatch");
+        // forward: L y = b
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self[(i, j)] * x[j];
+            }
+            x[i] = s / self[(i, i)];
+        }
+        // backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self[(j, i)] * x[j];
+            }
+            x[i] = s / self[(i, i)];
+        }
     }
 
     /// Solve `A x = b` by LU with partial pivoting. Returns `None` when the

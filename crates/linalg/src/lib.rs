@@ -3,16 +3,19 @@
 //! From-scratch numerical linear algebra kernels used by the parallel
 //! multilevel MCMC stack: dense vectors/matrices, Cholesky and symmetric
 //! eigen decompositions, CSR sparse matrices, Krylov solvers (CG, BiCGStab)
-//! with Jacobi/SSOR preconditioners, a radix-2 FFT, Gauss–Legendre
-//! quadrature and scalar root finding.
+//! with Jacobi/SSOR preconditioners and allocation-free workspace-driven
+//! variants, geometric multigrid on structured grids, a radix-2 FFT,
+//! Gauss–Legendre quadrature and scalar root finding.
 //!
-//! The crate is dependency-light by design (only `rayon` for the parallel
-//! sparse kernels) and every routine is exercised by unit and property tests.
+//! The crate is dependency-light by design (`rayon` for the parallel
+//! sparse kernels, `parking_lot` for the multigrid workspace lock) and
+//! every routine is exercised by unit and property tests.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod dense;
 pub mod fft;
+pub mod mg;
 pub mod prob;
 pub mod quadrature;
 pub mod roots;
@@ -22,5 +25,9 @@ pub mod vector;
 
 pub use dense::DenseMatrix;
 pub use fft::Complex;
-pub use solvers::{bicgstab, cg, IterativeResult, SolverOptions};
+pub use mg::{GmgHierarchy, GmgLevelSpec, Smoother};
+pub use solvers::{
+    bicgstab, bicgstab_into, cg, cg_into, IterativeResult, SolveStats, SolverOptions,
+    SolverWorkspace,
+};
 pub use sparse::{CooMatrix, CsrMatrix};

@@ -1,20 +1,39 @@
 //! Krylov solvers: preconditioned conjugate gradients for the SPD FEM
 //! systems and BiCGStab as a fallback for non-symmetric operators.
+//!
+//! Two call styles are provided:
+//!
+//! * [`cg`] / [`bicgstab`] — allocating one-shot drivers (tests, setup
+//!   code, anything not on a hot path);
+//! * [`cg_into`] / [`bicgstab_into`] — allocation-free drivers for the
+//!   MCMC hot loop: the caller owns the solution vector (which doubles
+//!   as the warm start) and a reusable [`SolverWorkspace`] of scratch
+//!   buffers, so steady-state solves perform no heap allocation.
 
 use crate::sparse::CsrMatrix;
 use crate::vector::{axpy, dot, norm2, xpby};
 
 /// Preconditioner interface: computes `z ≈ A⁻¹ r`.
 pub trait Preconditioner: Sync {
-    fn apply(&self, r: &[f64]) -> Vec<f64>;
+    /// Apply the preconditioner into a caller-provided buffer
+    /// (`z.len() == r.len()`); the hot-path entry point.
+    fn apply_into(&self, r: &[f64], z: &mut [f64]);
+
+    /// Allocating convenience wrapper around
+    /// [`apply_into`](Self::apply_into).
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; r.len()];
+        self.apply_into(r, &mut z);
+        z
+    }
 }
 
 /// No-op preconditioner.
 pub struct IdentityPrecond;
 
 impl Preconditioner for IdentityPrecond {
-    fn apply(&self, r: &[f64]) -> Vec<f64> {
-        r.to_vec()
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
     }
 }
 
@@ -42,38 +61,53 @@ impl JacobiPrecond {
 }
 
 impl Preconditioner for JacobiPrecond {
-    fn apply(&self, r: &[f64]) -> Vec<f64> {
-        r.iter()
-            .zip(&self.inv_diag)
-            .map(|(ri, di)| ri * di)
-            .collect()
-    }
-}
-
-/// Symmetric SOR preconditioner (one forward + one backward sweep).
-pub struct SsorPrecond {
-    a: CsrMatrix,
-    omega: f64,
-}
-
-impl SsorPrecond {
-    /// `omega` is the relaxation parameter in `(0, 2)`; `1.0` gives
-    /// symmetric Gauss–Seidel.
-    pub fn new(a: &CsrMatrix, omega: f64) -> Self {
-        assert!(
-            omega > 0.0 && omega < 2.0,
-            "SsorPrecond: omega must be in (0,2)"
-        );
-        Self {
-            a: a.clone(),
-            omega,
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "JacobiPrecond: wrong dim");
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
         }
     }
 }
 
-impl Preconditioner for SsorPrecond {
-    fn apply(&self, r: &[f64]) -> Vec<f64> {
-        self.a.ssor_apply(r, self.omega)
+/// Symmetric SOR preconditioner (one forward + one backward sweep).
+///
+/// Borrows the matrix instead of cloning it (the clone used to dominate
+/// per-solve cost on the FEM hot path) and caches the reciprocal
+/// diagonal so each application is two allocation-free triangular
+/// sweeps.
+pub struct SsorPrecond<'a> {
+    a: &'a CsrMatrix,
+    inv_diag: Vec<f64>,
+    omega: f64,
+}
+
+impl<'a> SsorPrecond<'a> {
+    /// `omega` is the relaxation parameter in `(0, 2)`; `1.0` gives
+    /// symmetric Gauss–Seidel.
+    ///
+    /// # Panics
+    /// Panics if `omega` is out of range or the matrix has a zero
+    /// diagonal entry.
+    pub fn new(a: &'a CsrMatrix, omega: f64) -> Self {
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SsorPrecond: omega must be in (0,2)"
+        );
+        let inv_diag = a
+            .diagonal()
+            .into_iter()
+            .map(|d| {
+                assert!(d != 0.0, "SsorPrecond: zero diagonal entry");
+                1.0 / d
+            })
+            .collect();
+        Self { a, inv_diag, omega }
+    }
+}
+
+impl Preconditioner for SsorPrecond<'_> {
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        self.a.ssor_apply_into(r, z, self.omega, &self.inv_diag);
     }
 }
 
@@ -98,7 +132,19 @@ impl Default for SolverOptions {
     }
 }
 
-/// Outcome of an iterative solve.
+/// Outcome of an in-place iterative solve (the solution lives in the
+/// caller's buffer).
+#[derive(Clone, Copy, Debug)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met within `max_iter`.
+    pub converged: bool,
+}
+
+/// Outcome of an allocating iterative solve.
 #[derive(Clone, Debug)]
 pub struct IterativeResult {
     /// Solution vector.
@@ -111,7 +157,116 @@ pub struct IterativeResult {
     pub converged: bool,
 }
 
-/// Preconditioned conjugate gradient method for SPD `A`.
+/// Reusable scratch buffers for [`cg_into`] and [`bicgstab_into`].
+///
+/// Create once per worker/chain and reuse across solves; buffers are
+/// grown on first use for a given size and never shrunk, so steady-state
+/// solves of a fixed dimension allocate nothing.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    // BiCGStab extras
+    r_hat: Vec<f64>,
+    v: Vec<f64>,
+    s: Vec<f64>,
+    t: Vec<f64>,
+    ph: Vec<f64>,
+    sh: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Empty workspace; buffers are sized lazily by the solvers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reserve_cg(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+
+    fn reserve_bicgstab(&mut self, n: usize) {
+        self.reserve_cg(n);
+        self.r_hat.resize(n, 0.0);
+        self.v.resize(n, 0.0);
+        self.s.resize(n, 0.0);
+        self.t.resize(n, 0.0);
+        self.ph.resize(n, 0.0);
+        self.sh.resize(n, 0.0);
+    }
+}
+
+/// Preconditioned conjugate gradient method for SPD `A`, allocation-free.
+///
+/// `x` holds the initial guess on entry (use zeros for a cold start, the
+/// previous solution for a warm start) and the solution on exit. All
+/// scratch storage comes from `ws`.
+pub fn cg_into(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &dyn Preconditioner,
+    opts: SolverOptions,
+    ws: &mut SolverWorkspace,
+) -> SolveStats {
+    let n = b.len();
+    assert_eq!(a.rows(), n, "cg: dimension mismatch");
+    assert_eq!(x.len(), n, "cg: solution dimension mismatch");
+    ws.reserve_cg(n);
+    let (r, z, p, ap) = (
+        &mut ws.r[..n],
+        &mut ws.z[..n],
+        &mut ws.p[..n],
+        &mut ws.ap[..n],
+    );
+
+    a.matvec_into(x, ap);
+    for i in 0..n {
+        r[i] = b[i] - ap[i];
+    }
+    let b_norm = norm2(b).max(opts.abs_tol);
+    let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
+
+    precond.apply_into(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
+    let mut iterations = 0;
+    let mut res = norm2(r);
+    while res > target && iterations < opts.max_iter {
+        a.matvec_into(p, ap);
+        let pap = dot(p, ap);
+        if pap <= 0.0 {
+            // loss of positive definiteness (or numerically zero direction)
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        res = norm2(r);
+        iterations += 1;
+        if res <= target {
+            break;
+        }
+        precond.apply_into(r, z);
+        let rz_new = dot(r, z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(z, beta, p);
+    }
+    SolveStats {
+        iterations,
+        residual: res,
+        converged: res <= target,
+    }
+}
+
+/// Preconditioned conjugate gradient method for SPD `A` (allocating
+/// wrapper around [`cg_into`]).
 pub fn cg(
     a: &CsrMatrix,
     b: &[f64],
@@ -120,76 +275,58 @@ pub fn cg(
     opts: SolverOptions,
 ) -> IterativeResult {
     let n = b.len();
-    assert_eq!(a.rows(), n, "cg: dimension mismatch");
     let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
-    let mut ax = vec![0.0; n];
-    a.matvec_into(&x, &mut ax);
-    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    let b_norm = norm2(b).max(opts.abs_tol);
-    let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
-
-    let mut z = precond.apply(&r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
-    let mut iterations = 0;
-    let mut res = norm2(&r);
-    while res > target && iterations < opts.max_iter {
-        a.matvec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
-        if pap <= 0.0 {
-            // loss of positive definiteness (or numerically zero direction)
-            break;
-        }
-        let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        res = norm2(&r);
-        iterations += 1;
-        if res <= target {
-            break;
-        }
-        z = precond.apply(&r);
-        let rz_new = dot(&r, &z);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        xpby(&z, beta, &mut p);
-    }
+    let mut ws = SolverWorkspace::new();
+    let stats = cg_into(a, b, &mut x, precond, opts, &mut ws);
     IterativeResult {
         x,
-        iterations,
-        residual: res,
-        converged: res <= target,
+        iterations: stats.iterations,
+        residual: stats.residual,
+        converged: stats.converged,
     }
 }
 
-/// BiCGStab for general (possibly nonsymmetric) `A`.
-pub fn bicgstab(
+/// BiCGStab for general (possibly nonsymmetric) `A`, allocation-free.
+///
+/// Same calling convention as [`cg_into`].
+pub fn bicgstab_into(
     a: &CsrMatrix,
     b: &[f64],
-    x0: Option<&[f64]>,
+    x: &mut [f64],
     precond: &dyn Preconditioner,
     opts: SolverOptions,
-) -> IterativeResult {
+    ws: &mut SolverWorkspace,
+) -> SolveStats {
     let n = b.len();
     assert_eq!(a.rows(), n, "bicgstab: dimension mismatch");
-    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
-    let mut ax = vec![0.0; n];
-    a.matvec_into(&x, &mut ax);
-    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    let r_hat = r.clone();
+    assert_eq!(x.len(), n, "bicgstab: solution dimension mismatch");
+    ws.reserve_bicgstab(n);
+    let r = &mut ws.r[..n];
+    let r_hat = &mut ws.r_hat[..n];
+    let v = &mut ws.v[..n];
+    let p = &mut ws.p[..n];
+    let s = &mut ws.s[..n];
+    let t = &mut ws.t[..n];
+    let ph = &mut ws.ph[..n];
+    let sh = &mut ws.sh[..n];
+
+    a.matvec_into(x, t);
+    for i in 0..n {
+        r[i] = b[i] - t[i];
+    }
+    r_hat.copy_from_slice(r);
     let b_norm = norm2(b).max(opts.abs_tol);
     let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
 
     let mut rho = 1.0;
     let mut alpha = 1.0;
     let mut omega = 1.0;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
+    v.fill(0.0);
+    p.fill(0.0);
     let mut iterations = 0;
-    let mut res = norm2(&r);
+    let mut res = norm2(r);
     while res > target && iterations < opts.max_iter {
-        let rho_new = dot(&r_hat, &r);
+        let rho_new = dot(r_hat, r);
         if rho_new.abs() < 1e-300 {
             break;
         }
@@ -199,43 +336,64 @@ pub fn bicgstab(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        let ph = precond.apply(&p);
-        a.matvec_into(&ph, &mut v);
-        let rhv = dot(&r_hat, &v);
+        precond.apply_into(p, ph);
+        a.matvec_into(ph, v);
+        let rhv = dot(r_hat, v);
         if rhv.abs() < 1e-300 {
             break;
         }
         alpha = rho / rhv;
-        let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
-        if norm2(&s) <= target {
-            axpy(alpha, &ph, &mut x);
-            res = norm2(&s);
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm2(s) <= target {
+            axpy(alpha, ph, x);
+            res = norm2(s);
             iterations += 1;
             break;
         }
-        let sh = precond.apply(&s);
-        let mut t = vec![0.0; n];
-        a.matvec_into(&sh, &mut t);
-        let tt = dot(&t, &t);
+        precond.apply_into(s, sh);
+        a.matvec_into(sh, t);
+        let tt = dot(t, t);
         if tt.abs() < 1e-300 {
             break;
         }
-        omega = dot(&t, &s) / tt;
+        omega = dot(t, s) / tt;
         for i in 0..n {
             x[i] += alpha * ph[i] + omega * sh[i];
             r[i] = s[i] - omega * t[i];
         }
-        res = norm2(&r);
+        res = norm2(r);
         iterations += 1;
         if omega.abs() < 1e-300 {
             break;
         }
     }
-    IterativeResult {
-        x,
+    SolveStats {
         iterations,
         residual: res,
         converged: res <= target,
+    }
+}
+
+/// BiCGStab for general (possibly nonsymmetric) `A` (allocating wrapper
+/// around [`bicgstab_into`]).
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    precond: &dyn Preconditioner,
+    opts: SolverOptions,
+) -> IterativeResult {
+    let n = b.len();
+    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
+    let mut ws = SolverWorkspace::new();
+    let stats = bicgstab_into(a, b, &mut x, precond, opts, &mut ws);
+    IterativeResult {
+        x,
+        iterations: stats.iterations,
+        residual: stats.residual,
+        converged: stats.converged,
     }
 }
 
@@ -309,6 +467,16 @@ mod tests {
     }
 
     #[test]
+    fn ssor_precond_matches_raw_ssor_apply() {
+        let a = laplacian(40);
+        let r: Vec<f64> = (0..40).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let pre = SsorPrecond::new(&a, 1.3);
+        let via_precond = pre.apply(&r);
+        let via_matrix = a.ssor_apply(&r, 1.3);
+        assert!(crate::vector::max_abs_diff(&via_precond, &via_matrix) < 1e-14);
+    }
+
+    #[test]
     fn cg_zero_rhs_returns_zero() {
         let a = laplacian(10);
         let r = cg(
@@ -356,6 +524,37 @@ mod tests {
     }
 
     #[test]
+    fn cg_into_reuses_workspace_and_matches_cg() {
+        let a = laplacian(60);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).cos()).collect();
+        let reference = cg(&a, &b, None, &IdentityPrecond, SolverOptions::default());
+        let mut ws = SolverWorkspace::new();
+        let mut x = vec![0.0; 60];
+        let s1 = cg_into(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            SolverOptions::default(),
+            &mut ws,
+        );
+        assert!(s1.converged);
+        assert_eq!(s1.iterations, reference.iterations);
+        assert!(crate::vector::max_abs_diff(&x, &reference.x) < 1e-12);
+        // second solve through the same workspace: warm start converges at once
+        let s2 = cg_into(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            SolverOptions::default(),
+            &mut ws,
+        );
+        assert!(s2.converged);
+        assert_eq!(s2.iterations, 0);
+    }
+
+    #[test]
     fn bicgstab_solves_nonsymmetric() {
         let a = nonsym(60);
         let x_true: Vec<f64> = (0..60).map(|i| ((i * 7) % 11) as f64 / 11.0).collect();
@@ -363,6 +562,27 @@ mod tests {
         let r = bicgstab(&a, &b, None, &IdentityPrecond, SolverOptions::default());
         assert!(r.converged, "bicgstab failed: residual {}", r.residual);
         assert!(crate::vector::max_abs_diff(&r.x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn bicgstab_into_matches_bicgstab() {
+        let a = nonsym(45);
+        let x_true: Vec<f64> = (0..45).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.matvec(&x_true);
+        let reference = bicgstab(&a, &b, None, &IdentityPrecond, SolverOptions::default());
+        let mut ws = SolverWorkspace::new();
+        let mut x = vec![0.0; 45];
+        let s = bicgstab_into(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            SolverOptions::default(),
+            &mut ws,
+        );
+        assert!(s.converged && reference.converged);
+        assert_eq!(s.iterations, reference.iterations);
+        assert!(crate::vector::max_abs_diff(&x, &reference.x) < 1e-12);
     }
 
     #[test]

@@ -55,9 +55,14 @@ impl CooMatrix {
     }
 
     /// Convert to CSR, summing duplicates.
+    ///
+    /// The sort is *stable*, so duplicate entries are summed in push
+    /// order. This makes the result bit-identical to an in-place refill
+    /// through `uq-fem`'s scatter map, which accumulates element
+    /// contributions in the same (element-loop) order.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
         let mut row_counts = vec![0usize; self.rows];
         let mut col_idx = Vec::with_capacity(sorted.len());
         let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
@@ -109,6 +114,55 @@ impl CsrMatrix {
         }
     }
 
+    /// Build from raw CSR arrays (columns must be strictly increasing
+    /// within each row). Lets symbolic-pattern holders mint matrices
+    /// without keeping a prototype matrix alive.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: `row_ptr` must have
+    /// `rows + 1` monotone entries ending at `col_idx.len()`,
+    /// `values.len()` must equal `col_idx.len()`, and every column index
+    /// must be in range and sorted within its row.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "from_raw: row_ptr length");
+        assert_eq!(row_ptr[0], 0, "from_raw: row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "from_raw: row_ptr must end at nnz"
+        );
+        assert_eq!(values.len(), col_idx.len(), "from_raw: values length");
+        for i in 0..rows {
+            assert!(
+                row_ptr[i] <= row_ptr[i + 1],
+                "from_raw: row_ptr not monotone"
+            );
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "from_raw: columns not strictly sorted in row {i}"
+                );
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < cols, "from_raw: column out of range in row {i}");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }
@@ -128,6 +182,40 @@ impl CsrMatrix {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
         (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (length `nnz`), sorted within each row.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The stored values (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, for in-place refills that
+    /// keep the symbolic pattern fixed (the sparsity structure cannot be
+    /// changed through this view).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Position of entry `(i, j)` in the [`values`](Self::values) array,
+    /// or `None` if it is not stored. Binary search over the sorted
+    /// columns of row `i` — used to build scatter maps once per pattern.
+    pub fn entry_position(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&j)
+            .ok()
+            .map(|off| lo + off)
     }
 
     /// Entry `(i, j)` — O(row nnz) lookup, intended for tests and setup.
@@ -201,43 +289,67 @@ impl CsrMatrix {
     /// factor.
     pub fn ssor_apply(&self, r: &[f64], omega: f64) -> Vec<f64> {
         assert_eq!(self.rows, self.cols, "ssor_apply: matrix must be square");
+        let inv_diag: Vec<f64> = (0..self.rows)
+            .map(|i| {
+                let d = self.get(i, i);
+                debug_assert!(d != 0.0, "ssor: zero diagonal at row {i}");
+                1.0 / d
+            })
+            .collect();
+        let mut z = vec![0.0; self.rows];
+        self.ssor_apply_into(r, &mut z, omega, &inv_diag);
+        z
+    }
+
+    /// Allocation-free SSOR application into a caller-provided buffer.
+    ///
+    /// `inv_diag` must hold the reciprocal diagonal of the matrix
+    /// (cached by the caller across applications, e.g. by
+    /// [`crate::solvers::SsorPrecond`]). Both sweeps run in place in
+    /// `z`: the backward sweep only reads `z[c]` for `c > i`, which at
+    /// that point already holds the updated value it needs.
+    pub fn ssor_apply_into(&self, r: &[f64], z: &mut [f64], omega: f64, inv_diag: &[f64]) {
+        assert_eq!(
+            self.rows, self.cols,
+            "ssor_apply_into: matrix must be square"
+        );
         let n = self.rows;
-        let mut z = vec![0.0; n];
-        // forward sweep: (D/omega + L) z = r
+        assert_eq!(r.len(), n, "ssor_apply_into: rhs dimension mismatch");
+        assert_eq!(z.len(), n, "ssor_apply_into: output dimension mismatch");
+        assert_eq!(
+            inv_diag.len(),
+            n,
+            "ssor_apply_into: diagonal dimension mismatch"
+        );
+        // forward sweep: z = ω (D/ω + L)⁻¹ r  (columns are sorted, so the
+        // strictly-lower part is an exact prefix of each row)
         for i in 0..n {
             let (cols, vals) = self.row(i);
             let mut s = r[i];
-            let mut diag = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
-                if c < i {
-                    s -= v * z[c];
-                } else if c == i {
-                    diag = v;
+                if c >= i {
+                    break;
                 }
+                s -= v * z[c];
             }
-            debug_assert!(diag != 0.0, "ssor: zero diagonal at row {i}");
-            z[i] = omega * s / diag;
+            z[i] = omega * s * inv_diag[i];
         }
-        // scale by D/omega (the middle factor of SSOR)
-        for i in 0..n {
-            z[i] *= self.get(i, i) / omega;
+        // middle factor: z *= D/ω
+        for (zi, di) in z.iter_mut().zip(inv_diag) {
+            *zi /= omega * di;
         }
-        // backward sweep: (D/omega + U) out = z_mid
-        let mut out = vec![0.0; n];
+        // backward sweep: z = ω (D/ω + U)⁻¹ z_mid, in place
         for i in (0..n).rev() {
             let (cols, vals) = self.row(i);
             let mut s = z[i];
-            let mut diag = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                if c > i {
-                    s -= v * out[c];
-                } else if c == i {
-                    diag = v;
+            for (&c, &v) in cols.iter().zip(vals).rev() {
+                if c <= i {
+                    break;
                 }
+                s -= v * z[c];
             }
-            out[i] = omega * s / diag;
+            z[i] = omega * s * inv_diag[i];
         }
-        out
     }
 }
 
