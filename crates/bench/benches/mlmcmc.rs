@@ -1,6 +1,7 @@
 //! Criterion benchmarks of the MCMC/MLMCMC machinery itself: kernel
 //! throughput, coupled-chain stepping, the communicator round-trip and
-//! end-to-end mini multilevel runs (sequential, parallel, DES).
+//! end-to-end mini multilevel runs (sequential, thread-parallel,
+//! cooperative runtime, DES).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -14,7 +15,7 @@ use uq_mlmcmc::coupled::{build_chain_stack, MlChain};
 use uq_mlmcmc::{run_sequential, LevelFactory, MlmcmcConfig};
 use uq_parallel::comm::{RankCtx, Universe};
 use uq_parallel::des::{simulate, DesConfig};
-use uq_parallel::{run_parallel, ParallelConfig, Tracer};
+use uq_parallel::{run_parallel, run_runtime, ParallelConfig, RuntimeConfig, Tracer};
 
 struct Hierarchy;
 
@@ -74,6 +75,23 @@ fn bench_sequential_run(c: &mut Criterion) {
             let mut config = ParallelConfig::new(vec![500, 100, 20], vec![1, 1, 1]);
             config.burn_in = vec![50, 20, 5];
             black_box(run_parallel(&Hierarchy, &config, &Tracer::disabled()))
+        });
+    });
+    group.bench_function("runtime_3level", |b| {
+        b.iter(|| {
+            let mut config = RuntimeConfig::new(vec![500, 100, 20], vec![1, 1, 1]);
+            config.base.burn_in = vec![50, 20, 5];
+            config.n_workers = 2;
+            black_box(run_runtime(&Hierarchy, &config, &Tracer::disabled()))
+        });
+    });
+    group.bench_function("runtime_3level_24chains", |b| {
+        b.iter(|| {
+            let mut config = RuntimeConfig::new(vec![500, 100, 20], vec![12, 8, 4]);
+            config.base.burn_in = vec![50, 20, 5];
+            config.n_workers = 4;
+            config.collector_shards = 2;
+            black_box(run_runtime(&Hierarchy, &config, &Tracer::disabled()))
         });
     });
     group.finish();

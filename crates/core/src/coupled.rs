@@ -46,21 +46,64 @@ pub struct CoarseSample {
     pub sub_anchor: Option<Box<CoarseSample>>,
 }
 
+/// Outcome of a (possibly non-blocking) coarse-proposal acquisition.
+#[derive(Clone, Debug)]
+pub enum CoarseAcquire {
+    /// The proposal is available now (all in-process sources).
+    Ready(CoarseSample),
+    /// The source has initiated an external request and cannot produce
+    /// the sample without suspending; the caller must obtain it out of
+    /// band (e.g. from a phonebook message) and finish the step via
+    /// [`MlChain::resume_step`].
+    Pending,
+}
+
 /// Where a coupled chain gets its coarse proposals from.
 ///
 /// Sequential MLMCMC uses [`ChainCoarseSource`] (an in-process recursive
-/// chain with the rewind rule); the parallel scheduler substitutes a
-/// proxy that requests samples from remote controllers via the phonebook.
+/// chain with the rewind rule); the parallel thread scheduler substitutes
+/// a proxy that requests samples from remote controllers via the
+/// phonebook, and the cooperative runtime in `uq-parallel` uses a purely
+/// pending source so a controller can suspend mid-step.
 pub trait CoarseProposalSource: Send {
-    /// Generate the next coarse proposal. `anchor` is the coarse state
-    /// associated with the requesting chain's current state; exact
+    /// Begin acquiring the next coarse proposal. `anchor` is the coarse
+    /// state associated with the requesting chain's current state; exact
     /// sequential sources rewind to it before advancing the subsampling
-    /// stride, remote sources may ignore it.
-    fn next_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseSample;
+    /// stride, remote sources may ignore it. Blocking sources return
+    /// [`CoarseAcquire::Ready`] directly; asynchronous sources return
+    /// [`CoarseAcquire::Pending`] and the chain suspends mid-step.
+    fn request_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseAcquire;
+
+    /// Blocking convenience wrapper around
+    /// [`request_coarse`](Self::request_coarse) for sources that always
+    /// produce the sample in-line.
+    ///
+    /// # Panics
+    /// Panics if the source is asynchronous (returns
+    /// [`CoarseAcquire::Pending`]).
+    fn next_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseSample {
+        match self.request_coarse(rng, anchor) {
+            CoarseAcquire::Ready(s) => s,
+            CoarseAcquire::Pending => {
+                panic!("next_coarse: asynchronous source requires MlChain::poll_step/resume_step")
+            }
+        }
+    }
 
     /// Evaluate density, QOI and (recursively) the sub-anchor at an
     /// arbitrary point — needed once for the fine chain's starting state.
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample;
+}
+
+/// What [`MlChain::poll_step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step completed; the flag is whether the proposal was accepted.
+    Done(bool),
+    /// The coarse-proposal source returned [`CoarseAcquire::Pending`]:
+    /// the chain is suspended mid-step and must be continued with
+    /// [`MlChain::resume_step`] once the coarse sample arrives.
+    NeedCoarse,
 }
 
 enum Kind {
@@ -252,23 +295,64 @@ impl MlChain {
     }
 
     /// Advance one step; returns whether the proposal was accepted.
+    ///
+    /// # Panics
+    /// Panics if the coarse-proposal source is asynchronous (returns
+    /// [`CoarseAcquire::Pending`]); drive such chains with
+    /// [`poll_step`](Self::poll_step)/[`resume_step`](Self::resume_step).
     pub fn step(&mut self, rng: &mut dyn Rng) -> bool {
-        self.steps += 1;
-        let accepted = match &mut self.kind {
+        match self.poll_step(rng) {
+            StepOutcome::Done(accepted) => accepted,
+            StepOutcome::NeedCoarse => {
+                panic!("MlChain::step: asynchronous coarse source; use poll_step/resume_step")
+            }
+        }
+    }
+
+    /// Begin one step. Level-0 chains and coupled chains with a blocking
+    /// source complete in-line ([`StepOutcome::Done`]); a coupled chain
+    /// whose source returns [`CoarseAcquire::Pending`] suspends
+    /// ([`StepOutcome::NeedCoarse`]) and must be continued with
+    /// [`resume_step`](Self::resume_step) — this is what lets hundreds of
+    /// virtual controllers share a worker thread in the cooperative
+    /// runtime instead of blocking it inside `recv`.
+    pub fn poll_step(&mut self, rng: &mut dyn Rng) -> StepOutcome {
+        let acquired = match &mut self.kind {
             Kind::Base { proposal } => {
                 let (state, accepted) =
                     mh_step(self.problem.as_mut(), proposal.as_mut(), &self.state, rng);
                 self.state = state;
-                accepted
+                self.steps += 1;
+                self.accepted += usize::from(accepted);
+                return StepOutcome::Done(accepted);
             }
+            Kind::Coupled { source, anchor, .. } => source.request_coarse(rng, anchor),
+        };
+        match acquired {
+            CoarseAcquire::Ready(coarse) => StepOutcome::Done(self.resume_step(rng, coarse)),
+            CoarseAcquire::Pending => StepOutcome::NeedCoarse,
+        }
+    }
+
+    /// Finish a coupled step with an externally obtained coarse proposal
+    /// (the fulfillment half of the request/fulfill protocol); returns
+    /// whether the proposal was accepted. A zero-length `coarse.theta`
+    /// acts as a teardown poison: the step counts but is rejected without
+    /// touching chain state or the coupled correction bookkeeping.
+    ///
+    /// # Panics
+    /// Panics on a level-0 chain.
+    pub fn resume_step(&mut self, rng: &mut dyn Rng, coarse: CoarseSample) -> bool {
+        self.steps += 1;
+        let accepted = match &mut self.kind {
+            Kind::Base { .. } => panic!("MlChain::resume_step: level-0 chains never suspend"),
             Kind::Coupled {
-                source,
                 tail_proposal,
                 coarse_dim,
                 anchor,
                 last_coarse,
+                ..
             } => {
-                let coarse = source.next_coarse(rng, anchor);
                 if coarse.theta.len() != *coarse_dim {
                     // teardown poison from a parallel source: reject
                     // without touching the chain state or the coupled
@@ -321,7 +405,7 @@ impl MlChain {
                 accepted
             }
         };
-        self.accepted += accepted as usize;
+        self.accepted += usize::from(accepted);
         accepted
     }
 }
@@ -350,18 +434,51 @@ impl ChainCoarseSource {
 }
 
 impl CoarseProposalSource for ChainCoarseSource {
-    fn next_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseSample {
+    fn request_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseAcquire {
         // the exactness rewind: restart the coarse chain from the coarse
         // state associated with the requester's current state
         self.chain.restore(anchor);
         for _ in 0..self.rho {
             self.chain.step(rng);
         }
-        self.chain.current_as_sample()
+        CoarseAcquire::Ready(self.chain.current_as_sample())
     }
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
         self.chain.anchor_at(theta)
+    }
+}
+
+/// An always-pending source for suspendable controllers: every
+/// [`request_coarse`](CoarseProposalSource::request_coarse) returns
+/// [`CoarseAcquire::Pending`], so each coupled step suspends at
+/// [`StepOutcome::NeedCoarse`] and the driving state machine fulfills it
+/// (via [`MlChain::resume_step`]) with a sample obtained out of band —
+/// the cooperative runtime's phonebook protocol in `uq-parallel`.
+pub struct PendingCoarseSource {
+    /// Coarse problem used only for the one-off starting-point
+    /// density/QOI evaluation in [`anchor_at`](Self::anchor_at).
+    coarse_problem: Box<dyn SamplingProblem>,
+}
+
+impl PendingCoarseSource {
+    pub fn new(coarse_problem: Box<dyn SamplingProblem>) -> Self {
+        Self { coarse_problem }
+    }
+}
+
+impl CoarseProposalSource for PendingCoarseSource {
+    fn request_coarse(&mut self, _rng: &mut dyn Rng, _anchor: &CoarseSample) -> CoarseAcquire {
+        CoarseAcquire::Pending
+    }
+
+    fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
+        CoarseSample {
+            theta: theta.to_vec(),
+            log_density: self.coarse_problem.log_density(theta),
+            qoi: self.coarse_problem.qoi(theta),
+            sub_anchor: None,
+        }
     }
 }
 
@@ -646,6 +763,120 @@ mod tests {
             fine.step(&mut rng);
             assert!(fine.state().theta[0].abs() <= 1.0);
         }
+    }
+
+    /// A recording source that can be switched between blocking and
+    /// pending, fulfilling from an internal chain either way — used to
+    /// check that the suspended path reproduces the blocking path.
+    struct SwitchableSource {
+        inner: ChainCoarseSource,
+        pending: bool,
+        stashed_anchor: Option<CoarseSample>,
+    }
+
+    impl CoarseProposalSource for SwitchableSource {
+        fn request_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseAcquire {
+            if self.pending {
+                self.stashed_anchor = Some(anchor.clone());
+                CoarseAcquire::Pending
+            } else {
+                self.inner.request_coarse(rng, anchor)
+            }
+        }
+        fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
+            self.inner.anchor_at(theta)
+        }
+    }
+
+    #[test]
+    fn poll_resume_reproduces_blocking_step_exactly() {
+        // two identical coupled chains; one steps through the blocking
+        // path, the other suspends at every step and is resumed with the
+        // sample an identical helper source generates — the trajectories
+        // must agree bit-for-bit because resume consumes the same RNG
+        // stream as the blocking acceptance does.
+        let mk = |pending| {
+            let coarse = base_gaussian_chain(0.5, 0.8, 1);
+            let source = SwitchableSource {
+                inner: ChainCoarseSource::new(coarse, 3),
+                pending,
+                stashed_anchor: None,
+            };
+            MlChain::coupled(
+                1,
+                Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+                Box::new(source),
+                Box::new(GaussianRandomWalk::new(0.5)),
+                1,
+                vec![0.0],
+            )
+        };
+        let mut blocking = mk(false);
+        let mut suspending = mk(true);
+        // fulfillment helper: an identical coarse stack advanced with an
+        // identical RNG stream, rewound to the suspended chain's anchor
+        let mut helper = ChainCoarseSource::new(base_gaussian_chain(0.5, 0.8, 1), 3);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        // the blocking path draws coarse-advance and acceptance variates
+        // from ONE stream; fulfilling with the same rng as the resume
+        // reproduces that exact interleaving
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = blocking.step(&mut rng_a);
+            assert_eq!(suspending.poll_step(&mut rng_b), StepOutcome::NeedCoarse);
+            let anchor = suspending.anchor().expect("coupled chain").clone();
+            let coarse = helper.next_coarse(&mut rng_b, &anchor);
+            let b = suspending.resume_step(&mut rng_b, coarse);
+            assert_eq!(a, b, "acceptance decisions diverged");
+            assert_eq!(blocking.state().theta, suspending.state().theta);
+        }
+        assert_eq!(blocking.steps(), suspending.steps());
+        assert_eq!(blocking.acceptance_rate(), suspending.acceptance_rate());
+    }
+
+    #[test]
+    fn pending_source_suspends_and_poison_resume_rejects() {
+        let source = PendingCoarseSource::new(Box::new(GaussianTarget::new(vec![0.0], 1.0)));
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(fine.poll_step(&mut rng), StepOutcome::NeedCoarse);
+        // a poison fulfillment counts the step but rejects untouched
+        let before = fine.state().theta.clone();
+        assert!(!fine.resume_step(
+            &mut rng,
+            super::CoarseSample {
+                theta: Vec::new(),
+                log_density: f64::NEG_INFINITY,
+                qoi: Vec::new(),
+                sub_anchor: None,
+            }
+        ));
+        assert_eq!(fine.state().theta, before);
+        assert_eq!(fine.steps(), 1);
+        assert!(fine.last_coarse().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "asynchronous coarse source")]
+    fn blocking_step_on_pending_source_panics() {
+        let source = PendingCoarseSource::new(Box::new(GaussianTarget::new(vec![0.0], 1.0)));
+        let mut fine = MlChain::coupled(
+            1,
+            Box::new(GaussianTarget::new(vec![1.0], 0.5)),
+            Box::new(source),
+            Box::new(GaussianRandomWalk::new(0.5)),
+            1,
+            vec![0.0],
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        fine.step(&mut rng);
     }
 
     #[test]

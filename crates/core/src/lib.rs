@@ -26,6 +26,6 @@ pub mod coupled;
 pub mod estimator;
 pub mod factory;
 
-pub use coupled::{CoarseProposalSource, CoarseSample, MlChain};
+pub use coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain, StepOutcome};
 pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};
 pub use factory::LevelFactory;

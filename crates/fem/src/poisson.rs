@@ -33,7 +33,7 @@ use crate::operator::{StiffnessOperator, StiffnessPattern};
 use std::sync::Arc;
 use uq_linalg::dense::DenseMatrix;
 use uq_linalg::mg::{GmgHierarchy, GmgLevelSpec, Smoother};
-use uq_linalg::solvers::{cg_into, SolveStats, SolverOptions, SolverWorkspace, SsorPrecond};
+use uq_linalg::solvers::{cg_into, CachedSsorPrecond, SolveStats, SolverOptions, SolverWorkspace};
 use uq_randfield::KlField2d;
 
 /// The paper's 36 observation points `{2/32, 7/32, 13/32, 19/32, 25/32,
@@ -171,17 +171,22 @@ enum SolverBackend {
         coarse_kappa: Vec<Vec<f64>>,
     },
     /// Single-level SSOR-preconditioned CG fallback for meshes too small
-    /// or odd to coarsen.
-    Ssor { op: StiffnessOperator },
+    /// or odd to coarsen. The reciprocal-diagonal cache persists across
+    /// solves (refreshed in place after each refill) like the MG path's
+    /// buffers, so this path is allocation-free in steady state too.
+    Ssor {
+        op: StiffnessOperator,
+        inv_diag: Vec<f64>,
+    },
 }
 
 impl SolverBackend {
     fn build(grid: &StructuredGrid) -> Self {
         let level_n = mg_level_sizes(grid.n());
         if level_n.len() < 2 {
-            return Self::Ssor {
-                op: StiffnessOperator::new(grid),
-            };
+            let op = StiffnessOperator::new(grid);
+            let inv_diag = vec![0.0; op.matrix().rows()];
+            return Self::Ssor { op, inv_diag };
         }
         let (patterns, specs) = mg_components(&level_n);
         let gmg = GmgHierarchy::new(specs, Smoother::RedBlackGaussSeidel, 1, 1);
@@ -376,9 +381,10 @@ impl PoissonModel {
                     &mut self.workspace,
                 )
             }
-            SolverBackend::Ssor { op } => {
+            SolverBackend::Ssor { op, inv_diag } => {
                 op.refill(&self.kappa);
-                let pre = SsorPrecond::new(op.matrix(), 1.0);
+                op.matrix().recip_diagonal_into(inv_diag);
+                let pre = CachedSsorPrecond::new(op.matrix(), 1.0, inv_diag);
                 cg_into(
                     op.matrix(),
                     op.rhs(),
@@ -536,6 +542,34 @@ mod tests {
             uq_linalg::vector::max_abs_diff(&u, &reference.x) < 1e-6,
             "pipeline and direct solve disagree"
         );
+    }
+
+    #[test]
+    fn ssor_fallback_matches_direct_solve() {
+        // odd mesh: the SSOR-CG fallback path with the persistent
+        // reciprocal-diagonal cache, re-solved with changing κ so stale
+        // cache entries would be caught
+        let field = small_field();
+        let mut model = PoissonModel::new(7, &field);
+        assert_eq!(model.solver_name(), "ssor-cg");
+        for scale in [0.3f64, -0.5, 0.8] {
+            let theta: Vec<f64> = (0..16).map(|i| scale * ((i as f64 * 1.3).sin())).collect();
+            let u = model.solve(&theta);
+            let kappa = model.kappa_elements(&theta);
+            let sys = assemble(model.grid(), &kappa);
+            let reference = cg(
+                &sys.matrix,
+                &sys.rhs,
+                None,
+                &IdentityPrecond,
+                SolverOptions::default(),
+            );
+            assert!(reference.converged);
+            assert!(
+                uq_linalg::vector::max_abs_diff(&u, &reference.x) < 1e-6,
+                "ssor fallback diverged from direct solve at scale {scale}"
+            );
+        }
     }
 
     #[test]

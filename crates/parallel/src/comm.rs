@@ -8,6 +8,8 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A delivered message with its sender rank.
 #[derive(Clone, Debug)]
@@ -24,6 +26,8 @@ pub struct RankCtx<M: Send> {
     txs: Vec<Sender<Envelope<M>>>,
     /// Messages received but not yet matched by `recv_match`.
     buffer: VecDeque<Envelope<M>>,
+    /// Universe-wide tally of sends to already-exited ranks.
+    dropped_sends: Arc<AtomicUsize>,
 }
 
 impl<M: Send> RankCtx<M> {
@@ -38,14 +42,38 @@ impl<M: Send> RankCtx<M> {
     }
 
     /// Send `msg` to rank `to`. Sends never block (unbounded channels);
-    /// sends to already-exited ranks are silently dropped, mirroring the
-    /// teardown semantics the scheduler relies on.
+    /// sends to already-exited ranks are dropped — the teardown semantics
+    /// the scheduler relies on — but counted (and warned about in debug
+    /// builds), so shutdown message loss is observable via
+    /// [`Universe::run_counted`] instead of silent.
     pub fn send(&self, to: usize, msg: M) {
         assert!(to < self.size, "send: rank {to} out of range");
-        let _ = self.txs[to].send(Envelope {
-            from: self.rank,
-            msg,
-        });
+        if self.txs[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .is_err()
+        {
+            let prev = self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+            // debug builds surface the first loss per universe (teardown
+            // legitimately drops a handful; the count tells the rest)
+            #[cfg(debug_assertions)]
+            if prev == 0 {
+                eprintln!(
+                    "uq-parallel comm: dropping send from rank {} to exited rank {to} \
+                     (further drops counted silently)",
+                    self.rank
+                );
+            }
+            #[cfg(not(debug_assertions))]
+            let _ = prev;
+        }
+    }
+
+    /// Sends to exited ranks observed universe-wide so far.
+    pub fn dropped_sends(&self) -> usize {
+        self.dropped_sends.load(Ordering::Relaxed)
     }
 
     /// Blocking receive of the next message (buffered first).
@@ -98,6 +126,15 @@ impl<M: Send> RankCtx<M> {
     }
 }
 
+/// Statistics of one universe execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniverseStats {
+    /// Sends that targeted an already-exited rank (dropped messages).
+    /// Nonzero values are expected during scheduler shutdown; anything
+    /// nonzero *outside* teardown indicates a protocol bug.
+    pub dropped_sends: usize,
+}
+
 /// The set of communicating ranks.
 pub struct Universe;
 
@@ -113,6 +150,21 @@ impl Universe {
         R: Send,
         F: Fn(RankCtx<M>) -> R + Send + Sync,
     {
+        Self::run_counted(n_ranks, f).0
+    }
+
+    /// [`run`](Self::run), additionally reporting universe-wide
+    /// statistics — in particular the count of messages dropped because
+    /// their destination rank had already exited.
+    ///
+    /// # Panics
+    /// Propagates panics from rank threads.
+    pub fn run_counted<M, R, F>(n_ranks: usize, f: F) -> (Vec<R>, UniverseStats)
+    where
+        M: Send + 'static,
+        R: Send,
+        F: Fn(RankCtx<M>) -> R + Send + Sync,
+    {
         assert!(n_ranks > 0, "Universe::run: need at least one rank");
         let mut txs = Vec::with_capacity(n_ranks);
         let mut rxs = Vec::with_capacity(n_ranks);
@@ -121,6 +173,7 @@ impl Universe {
             txs.push(tx);
             rxs.push(rx);
         }
+        let dropped_sends = Arc::new(AtomicUsize::new(0));
         let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_ranks);
@@ -131,6 +184,7 @@ impl Universe {
                     rx,
                     txs: txs.clone(),
                     buffer: VecDeque::new(),
+                    dropped_sends: Arc::clone(&dropped_sends),
                 };
                 let f = &f;
                 handles.push(scope.spawn(move || f(ctx)));
@@ -141,7 +195,10 @@ impl Universe {
                 results[rank] = Some(handle.join().expect("rank thread panicked"));
             }
         });
-        results.into_iter().map(Option::unwrap).collect()
+        let stats = UniverseStats {
+            dropped_sends: dropped_sends.load(Ordering::Relaxed),
+        };
+        (results.into_iter().map(Option::unwrap).collect(), stats)
     }
 }
 
@@ -246,6 +303,138 @@ mod tests {
             }
         });
         assert_eq!(results[1], 1);
+    }
+
+    /// Messages for the interleaving tests, mirroring the scheduler's
+    /// control-vs-data split.
+    #[derive(Clone, Debug, PartialEq)]
+    enum CtlMsg {
+        Data(usize),
+        Sample(usize),
+        Poison,
+        Shutdown,
+    }
+
+    #[test]
+    fn multiple_pending_predicates_preserve_arrival_order() {
+        // two different predicates pull their matches out of order; the
+        // skipped messages must re-deliver in the original arrival order
+        let results = Universe::run(2, |mut ctx: RankCtx<CtlMsg>| {
+            if ctx.rank() == 1 {
+                for m in [
+                    CtlMsg::Data(0),
+                    CtlMsg::Sample(10),
+                    CtlMsg::Data(1),
+                    CtlMsg::Sample(11),
+                    CtlMsg::Data(2),
+                ] {
+                    ctx.send(0, m);
+                }
+                return Vec::new();
+            }
+            let mut order = Vec::new();
+            // predicate A: samples, twice (buffers the Data around them)
+            for _ in 0..2 {
+                let env = ctx.recv_match(|e| matches!(e.msg, CtlMsg::Sample(_)));
+                if let CtlMsg::Sample(v) = env.msg {
+                    order.push(v);
+                }
+            }
+            // predicate B (plain recv): the buffered Data, arrival order
+            for _ in 0..3 {
+                if let CtlMsg::Data(v) = ctx.recv().msg {
+                    order.push(v);
+                }
+            }
+            order
+        });
+        assert_eq!(results[0], vec![10, 11, 0, 1, 2]);
+    }
+
+    #[test]
+    fn buffered_redelivery_interleaves_with_live_arrivals() {
+        // a pending predicate buffers early messages; a later recv_match
+        // with a *different* predicate must still see buffered messages
+        // before newer channel arrivals
+        let results = Universe::run(2, |mut ctx: RankCtx<CtlMsg>| {
+            if ctx.rank() == 1 {
+                ctx.send(0, CtlMsg::Data(7));
+                ctx.send(0, CtlMsg::Sample(1));
+                // only send the late message once rank 0 confirmed the
+                // first two were processed
+                let _ = ctx.recv();
+                ctx.send(0, CtlMsg::Data(8));
+                0
+            } else {
+                let s = ctx.recv_match(|e| matches!(e.msg, CtlMsg::Sample(_)));
+                assert_eq!(s.msg, CtlMsg::Sample(1)); // Data(7) now buffered
+                ctx.send(1, CtlMsg::Data(0)); // ack
+                let first = ctx.recv_match(|e| matches!(e.msg, CtlMsg::Data(_)));
+                let second = ctx.recv_match(|e| matches!(e.msg, CtlMsg::Data(_)));
+                assert_eq!(first.msg, CtlMsg::Data(7), "buffered must win");
+                assert_eq!(second.msg, CtlMsg::Data(8));
+                1
+            }
+        });
+        assert_eq!(results[0], 1);
+    }
+
+    #[test]
+    fn poison_and_shutdown_never_starved_behind_buffered_data() {
+        // a teardown-matching receive must find Poison/Shutdown no matter
+        // how much unconsumed data is buffered ahead of them
+        let results = Universe::run(2, |mut ctx: RankCtx<CtlMsg>| {
+            if ctx.rank() == 1 {
+                for i in 0..50 {
+                    ctx.send(0, CtlMsg::Data(i));
+                }
+                ctx.send(0, CtlMsg::Poison);
+                for i in 50..100 {
+                    ctx.send(0, CtlMsg::Data(i));
+                }
+                ctx.send(0, CtlMsg::Shutdown);
+                0
+            } else {
+                // force everything into the out-of-order buffer first
+                let teardown =
+                    |e: &Envelope<CtlMsg>| matches!(e.msg, CtlMsg::Poison | CtlMsg::Shutdown);
+                let first = ctx.recv_match(teardown);
+                assert_eq!(first.msg, CtlMsg::Poison, "first teardown in order");
+                let second = ctx.recv_match(teardown);
+                assert_eq!(second.msg, CtlMsg::Shutdown);
+                // the 100 data messages are all still there, in order
+                let mut n = 0usize;
+                for expect in 0..100 {
+                    let CtlMsg::Data(v) = ctx.recv().msg else {
+                        panic!("expected data")
+                    };
+                    assert_eq!(v, expect);
+                    n += 1;
+                }
+                n
+            }
+        });
+        assert_eq!(results[0], 100);
+    }
+
+    #[test]
+    fn dropped_sends_to_exited_ranks_are_counted() {
+        let (_, stats) = Universe::run_counted(2, |ctx: RankCtx<CtlMsg>| {
+            if ctx.rank() == 1 {
+                // exit immediately: rank 0's pings eventually hit a
+                // dropped receiver
+                return 0;
+            }
+            let mut tries = 0usize;
+            while ctx.dropped_sends() == 0 {
+                ctx.send(1, CtlMsg::Data(tries));
+                tries += 1;
+                assert!(tries < 1_000_000, "rank 1 never exited?");
+                std::thread::yield_now();
+            }
+            ctx.dropped_sends()
+        });
+        assert!(stats.dropped_sends >= 1);
     }
 
     #[test]

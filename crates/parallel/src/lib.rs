@@ -15,19 +15,29 @@
 //!   accumulation) and chain groups (**controllers**) running the coupled
 //!   kernels from `uq-mlmcmc`, with coarse proposals requested across
 //!   controllers through the phonebook.
+//! * [`runtime`] — the cooperative virtual-rank runtime: suspendable
+//!   state machines multiplexed over a small worker pool, so
+//!   hundreds-to-thousands of ranks run **live** on a handful of cores.
+//! * [`roles`] — the same role protocols ported onto the runtime, with
+//!   batched phonebook routing and per-level sharded collectors
+//!   (`run_runtime` is the drop-in peer of `run_parallel`).
 //! * [`trace`] — per-rank activity spans (burn-in / model evaluations /
 //!   serving), the data behind the paper's Fig. 9 Gantt chart.
 //! * [`des`] — a discrete-event simulator replaying the same scheduling
 //!   policy in virtual time, used to reproduce the strong/weak scaling
-//!   studies (Figs. 11–12) beyond the physical core count.
+//!   studies (Figs. 11–12) beyond any hardware.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod comm;
 pub mod des;
+pub mod roles;
+pub mod runtime;
 pub mod scheduler;
 pub mod trace;
 
-pub use comm::{Envelope, RankCtx, Universe};
+pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
+pub use roles::{run_runtime, RuntimeConfig, RuntimeReport};
+pub use runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 pub use scheduler::{run_parallel, ParallelConfig, ParallelReport};
 pub use trace::{SpanKind, TraceEvent, Tracer};

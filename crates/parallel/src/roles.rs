@@ -1,0 +1,1157 @@
+//! The MLMCMC role protocols (paper Fig. 8) ported onto the cooperative
+//! [`runtime`](crate::runtime): the **same scheduling policy** as the
+//! thread scheduler in [`crate::scheduler`], executed by suspendable
+//! state machines so paper-scale rank counts run live on a few cores.
+//!
+//! Differences from the thread scheduler — all mechanical, none of
+//! policy:
+//!
+//! * **Suspendable controllers.** A controller's coupled chain uses
+//!   [`PendingCoarseSource`], so a step that needs a coarse proposal
+//!   suspends at `StepOutcome::NeedCoarse`; the controller sends the
+//!   `CoarseRequest` itself, parks on a wait predicate and finishes the
+//!   step via `MlChain::resume_step` when the sample (or a teardown
+//!   poison) arrives. No OS thread ever blocks on a chain's behalf.
+//! * **Batched phonebook routing.** The phonebook drains *every* queued
+//!   message per wakeup and routes the whole batch in one pass; batch
+//!   sizes are reported in [`PhonebookStats`] (the `BENCH_PR3` routing
+//!   metric).
+//! * **Sharded collectors.** Each level owns `collector_shards` collector
+//!   ranks; controllers scatter corrections round-robin, shards absorb a
+//!   quota of `N_l / shards` each and the root merges their streaming
+//!   moments (Chan's parallel combination) at shutdown, so no single
+//!   collector rank serializes a fast level.
+//!
+//! With `collector_shards == 1` the rank layout is identical to the
+//! thread scheduler's (root 0, phonebook 1, collectors `2..2+L+1`,
+//! controllers after) and controllers derive the same per-rank RNG
+//! streams, which is what the `scaling_live` experiment's estimate
+//! cross-check relies on.
+
+use crate::runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
+use crate::scheduler::{
+    poison_sample, CollectorData, Msg, ParallelConfig, ParallelLevelReport, ParallelReport,
+};
+use crate::trace::{SpanKind, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::time::Instant;
+use uq_mcmc::SamplingProblem;
+use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
+use uq_mlmcmc::coupled::{CoarseSample, MlChain, PendingCoarseSource, StepOutcome};
+use uq_mlmcmc::LevelFactory;
+
+const ROOT: usize = 0;
+const PHONEBOOK: usize = 1;
+
+/// Configuration of a cooperative-runtime run: the thread scheduler's
+/// [`ParallelConfig`] plus the runtime's worker-pool and sharding knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// The scheduling policy inputs (targets, burn-in, chains, seed, …).
+    pub base: ParallelConfig,
+    /// OS threads driving the virtual ranks.
+    pub n_workers: usize,
+    /// Collector shards per level (`1` reproduces the thread scheduler's
+    /// rank layout exactly).
+    pub collector_shards: usize,
+}
+
+impl RuntimeConfig {
+    pub fn new(samples_per_level: Vec<usize>, chains_per_level: Vec<usize>) -> Self {
+        Self {
+            base: ParallelConfig::new(samples_per_level, chains_per_level),
+            n_workers: 4,
+            collector_shards: 1,
+        }
+    }
+
+    pub fn n_levels(&self) -> usize {
+        self.base.n_levels()
+    }
+
+    /// Total virtual ranks: root + phonebook + `shards` collectors per
+    /// level + one rank per chain.
+    pub fn n_ranks(&self) -> usize {
+        2 + self.n_levels() * self.collector_shards
+            + self.base.chains_per_level.iter().sum::<usize>()
+    }
+
+    fn first_controller_rank(&self) -> usize {
+        2 + self.n_levels() * self.collector_shards
+    }
+
+    fn collector_rank(&self, level: usize, shard: usize) -> usize {
+        2 + level * self.collector_shards + shard
+    }
+
+    /// Initial level of the controller at `rank`.
+    fn initial_level(&self, rank: usize) -> usize {
+        let mut offset = rank - self.first_controller_rank();
+        for (level, &count) in self.base.chains_per_level.iter().enumerate() {
+            if offset < count {
+                return level;
+            }
+            offset -= count;
+        }
+        unreachable!("rank beyond controller range")
+    }
+
+    /// Correction quota of `shard` on `level`: `N_l` split as evenly as
+    /// possible, summing exactly to `N_l`.
+    fn shard_quota(&self, level: usize, shard: usize) -> usize {
+        let target = self.base.samples_per_level[level];
+        let shards = self.collector_shards;
+        target / shards + usize::from(shard < target % shards)
+    }
+}
+
+/// Phonebook routing/batching statistics (the perf signature of batched
+/// routing: messages handled per wakeup).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhonebookStats {
+    /// Wakeups that processed at least one message.
+    pub wakeups: usize,
+    /// Total messages processed.
+    pub messages: usize,
+    /// Largest batch drained in a single wakeup.
+    pub max_batch: usize,
+    /// Coarse-proposal handoffs routed (`Serve` forwards).
+    pub routed: usize,
+    /// Load-balancer reassignments issued.
+    pub reassignments: usize,
+}
+
+impl PhonebookStats {
+    /// Mean messages per wakeup.
+    pub fn mean_batch(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.wakeups as f64
+        }
+    }
+}
+
+/// Results of a cooperative-runtime run.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// The assembled estimator report — same shape as the thread
+    /// scheduler's, so downstream analysis is backend-agnostic.
+    pub report: ParallelReport,
+    pub phonebook: PhonebookStats,
+    /// Runtime counters (polls, wakeups, dropped shutdown sends).
+    pub runtime: RuntimeStats,
+    pub n_workers: usize,
+}
+
+/// Per-rank outputs collected by the runtime.
+enum RoleOut {
+    Root(Box<(ParallelReport, PhonebookStats)>),
+    Quiet,
+}
+
+// ---------------------------------------------------------------------
+// root
+// ---------------------------------------------------------------------
+
+enum RootPhase {
+    /// Waiting for every collector shard of every level.
+    Levels,
+    /// Phonebook shutdown handshake.
+    Phonebook,
+    /// Gathering collector/controller reports.
+    Gather,
+}
+
+struct RootRank<'a> {
+    config: &'a RuntimeConfig,
+    start: Instant,
+    phase: RootPhase,
+    /// Shards of each level that reported `LevelDone`.
+    shards_done: Vec<usize>,
+    level_done: Vec<bool>,
+    phonebook_stats: PhonebookStats,
+    collectors: Vec<Option<CollectorData>>,
+    collector_reports: usize,
+    controller_reports: usize,
+    evals: Vec<usize>,
+    eval_secs: Vec<f64>,
+    reassignments: usize,
+}
+
+impl<'a> RootRank<'a> {
+    fn new(config: &'a RuntimeConfig, start: Instant) -> Self {
+        let n_levels = config.n_levels();
+        Self {
+            config,
+            start,
+            phase: RootPhase::Levels,
+            shards_done: vec![0; n_levels],
+            level_done: vec![false; n_levels],
+            phonebook_stats: PhonebookStats::default(),
+            collectors: vec![None; n_levels],
+            collector_reports: 0,
+            controller_reports: 0,
+            evals: vec![0; n_levels],
+            eval_secs: vec![0.0; n_levels],
+            reassignments: 0,
+        }
+    }
+
+    /// Merge a shard's data into the level accumulator (Chan's parallel
+    /// moment combination, matching `RunningMoments::merge`).
+    fn absorb_collector(&mut self, data: CollectorData) {
+        let level = data.level;
+        self.collector_reports += 1;
+        let acc = &mut self.collectors[level];
+        let Some(acc) = acc else {
+            *acc = Some(data);
+            return;
+        };
+        if data.n_samples == 0 {
+            return;
+        }
+        if acc.n_samples == 0 {
+            *acc = data;
+            return;
+        }
+        let n1 = acc.n_samples as f64;
+        let n2 = data.n_samples as f64;
+        let total = n1 + n2;
+        for i in 0..acc.mean.len() {
+            let delta = data.mean[i] - acc.mean[i];
+            // m2 reconstructed from the unbiased sample variance
+            let m2 = acc.variance[i] * (n1 - 1.0).max(0.0)
+                + data.variance[i] * (n2 - 1.0).max(0.0)
+                + delta * delta * n1 * n2 / total;
+            acc.mean[i] += delta * n2 / total;
+            acc.variance[i] = if total < 2.0 { 0.0 } else { m2 / (total - 1.0) };
+        }
+        acc.n_samples += data.n_samples;
+        acc.theta_samples.extend(data.theta_samples);
+        acc.correction_pairs.extend(data.correction_pairs);
+    }
+
+    fn assemble(&mut self) -> ParallelReport {
+        let levels = self
+            .collectors
+            .iter_mut()
+            .enumerate()
+            .map(|(level, c)| {
+                let c = c.take().expect("collector report missing");
+                ParallelLevelReport {
+                    level,
+                    n_samples: c.n_samples,
+                    mean_correction: c.mean,
+                    var_correction: c.variance,
+                    evaluations: self.evals[level],
+                    mean_eval_ms: if self.evals[level] > 0 {
+                        self.eval_secs[level] * 1e3 / self.evals[level] as f64
+                    } else {
+                        0.0
+                    },
+                    theta_samples: c.theta_samples,
+                    correction_pairs: c.correction_pairs,
+                }
+            })
+            .collect();
+        ParallelReport {
+            levels,
+            elapsed: self.start.elapsed().as_secs_f64(),
+            n_ranks: self.config.n_ranks(),
+            reassignments: self.reassignments,
+        }
+    }
+}
+
+impl VirtualRank<Msg> for RootRank<'_> {
+    type Output = RoleOut;
+
+    fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
+        let config = self.config;
+        let n_levels = config.n_levels();
+        let n_controllers = config.n_ranks() - config.first_controller_rank();
+        loop {
+            match self.phase {
+                RootPhase::Levels => {
+                    while let Some(env) = ctx.try_recv_match(|e| {
+                        matches!(e.msg, Msg::LevelDone { .. } | Msg::Reassign { .. })
+                    }) {
+                        match env.msg {
+                            Msg::LevelDone { level } => {
+                                self.shards_done[level] += 1;
+                                if self.shards_done[level] == config.collector_shards
+                                    && !self.level_done[level]
+                                {
+                                    self.level_done[level] = true;
+                                    for rank in config.first_controller_rank()..config.n_ranks() {
+                                        ctx.send(rank, Msg::StopProducing { level });
+                                    }
+                                    ctx.send(PHONEBOOK, Msg::LevelDone { level });
+                                }
+                            }
+                            Msg::Reassign { .. } => self.reassignments += 1,
+                            _ => unreachable!(),
+                        }
+                    }
+                    if self.level_done.iter().all(|&d| d) {
+                        // shut the phonebook down first, so no request can
+                        // be forwarded to a controller that already exited
+                        ctx.send(PHONEBOOK, Msg::Shutdown);
+                        self.phase = RootPhase::Phonebook;
+                        continue;
+                    }
+                    return Poll::Wait(Box::new(|e| {
+                        matches!(e.msg, Msg::LevelDone { .. } | Msg::Reassign { .. })
+                    }));
+                }
+                RootPhase::Phonebook => {
+                    let mut acked = false;
+                    while let Some(env) = ctx.try_recv_match(|e| {
+                        matches!(
+                            e.msg,
+                            Msg::PhonebookDown | Msg::PhonebookReport(_) | Msg::Reassign { .. }
+                        )
+                    }) {
+                        match env.msg {
+                            Msg::PhonebookDown => acked = true,
+                            Msg::PhonebookReport(stats) => self.phonebook_stats = *stats,
+                            Msg::Reassign { .. } => self.reassignments += 1,
+                            _ => unreachable!(),
+                        }
+                    }
+                    if !acked {
+                        return Poll::Wait(Box::new(|e| {
+                            matches!(e.msg, Msg::PhonebookDown | Msg::PhonebookReport(_))
+                        }));
+                    }
+                    for level in 0..n_levels {
+                        for shard in 0..config.collector_shards {
+                            ctx.send(config.collector_rank(level, shard), Msg::Shutdown);
+                        }
+                    }
+                    for rank in config.first_controller_rank()..config.n_ranks() {
+                        ctx.send(rank, Msg::Shutdown);
+                    }
+                    self.phase = RootPhase::Gather;
+                }
+                RootPhase::Gather => {
+                    while let Some(env) = ctx.try_recv() {
+                        match env.msg {
+                            Msg::CollectorReport(data) => self.absorb_collector(*data),
+                            Msg::ControllerReport { evals, eval_secs } => {
+                                for (acc, v) in self.evals.iter_mut().zip(&evals) {
+                                    *acc += v;
+                                }
+                                for (acc, v) in self.eval_secs.iter_mut().zip(&eval_secs) {
+                                    *acc += v;
+                                }
+                                self.controller_reports += 1;
+                            }
+                            Msg::Reassign { .. } => self.reassignments += 1,
+                            _ => {}
+                        }
+                    }
+                    if self.collector_reports == n_levels * config.collector_shards
+                        && self.controller_reports == n_controllers
+                    {
+                        let report = self.assemble();
+                        let stats = self.phonebook_stats;
+                        return Poll::Exit(RoleOut::Root(Box::new((report, stats))));
+                    }
+                    return Poll::Wait(Box::new(|_| true));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// phonebook
+// ---------------------------------------------------------------------
+
+struct PhonebookRank<'a> {
+    config: &'a RuntimeConfig,
+    tracer: &'a Tracer,
+    /// Controllers of level `l` holding an unclaimed ready sample.
+    ready: Vec<VecDeque<usize>>,
+    /// Requesters waiting for a level-`l` sample.
+    pending: Vec<VecDeque<usize>>,
+    level_of: std::collections::HashMap<usize, usize>,
+    done: Vec<bool>,
+    stats: PhonebookStats,
+    // reassignment rate limiting at the model-runtime timescale (same
+    // policy as the thread scheduler's phonebook)
+    last_ready_at: Vec<f64>,
+    ema_interval: Vec<f64>,
+    last_reassign_at: f64,
+    epoch: Instant,
+}
+
+impl<'a> PhonebookRank<'a> {
+    fn new(config: &'a RuntimeConfig, tracer: &'a Tracer) -> Self {
+        let n_levels = config.n_levels();
+        Self {
+            config,
+            tracer,
+            ready: vec![VecDeque::new(); n_levels],
+            pending: vec![VecDeque::new(); n_levels],
+            level_of: (config.first_controller_rank()..config.n_ranks())
+                .map(|rank| (rank, config.initial_level(rank)))
+                .collect(),
+            done: vec![false; n_levels],
+            stats: PhonebookStats::default(),
+            last_ready_at: vec![f64::NAN; n_levels],
+            ema_interval: vec![0.05; n_levels],
+            last_reassign_at: f64::NEG_INFINITY,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// One load-balancing pass (paper Section 4.3) — run once per batch
+    /// instead of once per message.
+    fn balance(&mut self, ctx: &VCtx<'_, Msg>, now: f64) {
+        if !self.config.base.load_balancing {
+            return;
+        }
+        let n_levels = self.config.n_levels();
+        let Some(starved) = (0..n_levels).find(|&l| !self.pending[l].is_empty()) else {
+            return;
+        };
+        let donor_level = (0..n_levels).filter(|&m| m != starved).find(|&m| {
+            let idle = self.ready[m].len();
+            let group_count = self.level_of.values().filter(|&&l| l == m).count();
+            let still_needed = (m + 1..n_levels).any(|f| !self.done[f]) || !self.done[m];
+            if self.done[m] && self.pending[m].is_empty() {
+                idle >= 1 && (!still_needed || group_count >= 2)
+            } else {
+                idle >= 2 && group_count >= 2
+            }
+        });
+        let Some(donor_level) = donor_level else {
+            return;
+        };
+        let cooldown = self.ema_interval[starved].max(self.ema_interval[donor_level]) * 2.0;
+        if now - self.last_reassign_at < cooldown {
+            return;
+        }
+        if let Some(rank) = self.ready[donor_level].pop_front() {
+            self.level_of.insert(rank, starved);
+            ctx.send(rank, Msg::Reassign { level: starved });
+            ctx.send(ROOT, Msg::Reassign { level: starved });
+            self.tracer.mark(
+                rank,
+                SpanKind::Reassign {
+                    from: donor_level,
+                    to: starved,
+                },
+            );
+            self.stats.reassignments += 1;
+            self.last_reassign_at = now;
+        }
+    }
+}
+
+impl VirtualRank<Msg> for PhonebookRank<'_> {
+    type Output = RoleOut;
+
+    fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
+        // batched routing: drain EVERYTHING queued, route in one pass
+        let mut batch = 0usize;
+        let mut shutdown = false;
+        let now = self.epoch.elapsed().as_secs_f64();
+        while let Some(env) = ctx.try_recv() {
+            batch += 1;
+            match env.msg {
+                Msg::SampleReady { level } => {
+                    if !self.last_ready_at[level].is_nan() {
+                        let dt = now - self.last_ready_at[level];
+                        self.ema_interval[level] = 0.8 * self.ema_interval[level] + 0.2 * dt;
+                    }
+                    self.last_ready_at[level] = now;
+                    if let Some(reply_to) = self.pending[level].pop_front() {
+                        ctx.send(env.from, Msg::Serve { reply_to });
+                        self.stats.routed += 1;
+                    } else {
+                        self.ready[level].push_back(env.from);
+                    }
+                }
+                Msg::CoarseRequest { level, reply_to } => {
+                    if let Some(server) = self.ready[level].pop_front() {
+                        ctx.send(server, Msg::Serve { reply_to });
+                        self.stats.routed += 1;
+                    } else {
+                        self.pending[level].push_back(reply_to);
+                    }
+                }
+                Msg::LevelDone { level } => self.done[level] = true,
+                Msg::Shutdown => shutdown = true,
+                _ => {}
+            }
+        }
+        if batch > 0 {
+            self.stats.wakeups += 1;
+            self.stats.messages += batch;
+            self.stats.max_batch = self.stats.max_batch.max(batch);
+        }
+        if shutdown {
+            // no more forwards: poison every queued request, report, ack
+            for queue in &mut self.pending {
+                for reply_to in queue.drain(..) {
+                    ctx.send(reply_to, Msg::Poison);
+                }
+            }
+            ctx.send(ROOT, Msg::PhonebookReport(Box::new(self.stats)));
+            ctx.send(ROOT, Msg::PhonebookDown);
+            return Poll::Exit(RoleOut::Quiet);
+        }
+        self.balance(ctx, now);
+        Poll::Wait(Box::new(|_| true))
+    }
+}
+
+// ---------------------------------------------------------------------
+// collector shard
+// ---------------------------------------------------------------------
+
+struct CollectorRank {
+    level: usize,
+    quota: usize,
+    record_samples: bool,
+    moments: Option<uq_mcmc::stats::VectorMoments>,
+    count: usize,
+    theta_samples: Vec<Vec<f64>>,
+    correction_pairs: Vec<(Vec<f64>, Vec<f64>)>,
+    done_sent: bool,
+}
+
+impl CollectorRank {
+    fn new(level: usize, quota: usize, record_samples: bool) -> Self {
+        Self {
+            level,
+            quota,
+            record_samples,
+            moments: None,
+            count: 0,
+            theta_samples: Vec::new(),
+            correction_pairs: Vec::new(),
+            done_sent: false,
+        }
+    }
+}
+
+impl VirtualRank<Msg> for CollectorRank {
+    type Output = RoleOut;
+
+    fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
+        if !self.done_sent && self.quota == 0 {
+            self.done_sent = true;
+            ctx.send(ROOT, Msg::LevelDone { level: self.level });
+        }
+        while let Some(env) = ctx.try_recv() {
+            match env.msg {
+                Msg::Correction {
+                    level,
+                    y,
+                    theta,
+                    fine_qoi,
+                    coarse_qoi,
+                } if level == self.level && self.count < self.quota => {
+                    self.moments
+                        .get_or_insert_with(|| uq_mcmc::stats::VectorMoments::new(y.len()))
+                        .push(&y);
+                    self.count += 1;
+                    if self.record_samples {
+                        self.theta_samples.push(theta);
+                        if let Some(cq) = coarse_qoi {
+                            self.correction_pairs.push((cq, fine_qoi));
+                        }
+                    }
+                    if self.count == self.quota && !self.done_sent {
+                        self.done_sent = true;
+                        ctx.send(ROOT, Msg::LevelDone { level: self.level });
+                    }
+                }
+                Msg::Shutdown => {
+                    let (mean, variance) = match &self.moments {
+                        Some(m) => (m.mean(), m.variance()),
+                        None => (Vec::new(), Vec::new()),
+                    };
+                    ctx.send(
+                        ROOT,
+                        Msg::CollectorReport(Box::new(CollectorData {
+                            level: self.level,
+                            n_samples: self.count,
+                            mean,
+                            variance,
+                            theta_samples: std::mem::take(&mut self.theta_samples),
+                            correction_pairs: std::mem::take(&mut self.correction_pairs),
+                        })),
+                    );
+                    return Poll::Exit(RoleOut::Quiet);
+                }
+                _ => {}
+            }
+        }
+        Poll::Wait(Box::new(|_| true))
+    }
+}
+
+// ---------------------------------------------------------------------
+// controller
+// ---------------------------------------------------------------------
+
+struct ControllerRank<'a> {
+    factory: &'a dyn LevelFactory,
+    config: &'a RuntimeConfig,
+    tracer: &'a Tracer,
+    rank: usize,
+    level: usize,
+    chain: MlChain,
+    counters: Vec<EvalCounter>,
+    rng: StdRng,
+    done_levels: Vec<bool>,
+    burnin_left: usize,
+    producing: bool,
+    pending_serves: VecDeque<usize>,
+    steps_since_serve: usize,
+    announced: bool,
+    /// A `CoarseRequest` is in flight; the chain is suspended mid-step.
+    awaiting_coarse: bool,
+    /// Round-robin cursor over this level's collector shards.
+    shard_rr: usize,
+}
+
+impl<'a> ControllerRank<'a> {
+    fn new(
+        factory: &'a dyn LevelFactory,
+        config: &'a RuntimeConfig,
+        tracer: &'a Tracer,
+        rank: usize,
+    ) -> Self {
+        let n_levels = config.n_levels();
+        let level = config.initial_level(rank);
+        let counters: Vec<EvalCounter> = (0..n_levels).map(|_| EvalCounter::new()).collect();
+        let rng = StdRng::seed_from_u64(config.base.seed.wrapping_add(rank as u64 * 0x9E37_79B9));
+        let mut this = Self {
+            factory,
+            config,
+            tracer,
+            rank,
+            level,
+            chain: Self::build_chain(factory, &counters, level),
+            counters,
+            rng,
+            done_levels: vec![false; n_levels],
+            burnin_left: config.base.burn_in[level],
+            producing: true,
+            pending_serves: VecDeque::new(),
+            steps_since_serve: 0,
+            announced: false,
+            awaiting_coarse: false,
+            shard_rr: rank,
+        };
+        this.reset_level_state();
+        this
+    }
+
+    fn counting_problem(
+        factory: &dyn LevelFactory,
+        counters: &[EvalCounter],
+        level: usize,
+    ) -> Box<dyn SamplingProblem> {
+        Box::new(CountingProblem::new(
+            factory.problem(level),
+            counters[level].clone(),
+        ))
+    }
+
+    fn build_chain(factory: &dyn LevelFactory, counters: &[EvalCounter], level: usize) -> MlChain {
+        if level == 0 {
+            MlChain::base(
+                Self::counting_problem(factory, counters, 0),
+                factory.proposal(0),
+                factory.starting_point(0),
+            )
+        } else {
+            let coarse_dim = factory.starting_point(level - 1).len();
+            let mut theta0 = factory.starting_point(level);
+            theta0[..coarse_dim].copy_from_slice(&factory.starting_point(level - 1));
+            let source =
+                PendingCoarseSource::new(Self::counting_problem(factory, counters, level - 1));
+            MlChain::coupled(
+                level,
+                Self::counting_problem(factory, counters, level),
+                Box::new(source),
+                factory.proposal(level),
+                coarse_dim,
+                theta0,
+            )
+        }
+    }
+
+    fn reset_level_state(&mut self) {
+        self.burnin_left = self.config.base.burn_in[self.level];
+        self.producing = !self.done_levels[self.level];
+        self.steps_since_serve = 0;
+        self.announced = false;
+        self.awaiting_coarse = false;
+    }
+
+    fn rho(&self) -> usize {
+        self.factory.subsampling_rate(self.level).max(1)
+    }
+
+    /// Trace span for the next chain step — burn-in steps must show up
+    /// as `Burnin` like the thread scheduler's (Fig. 9's yellow boxes).
+    fn span_kind(&self) -> SpanKind {
+        if self.burnin_left > 0 {
+            SpanKind::Burnin { level: self.level }
+        } else {
+            SpanKind::Eval { level: self.level }
+        }
+    }
+
+    fn is_top(&self) -> bool {
+        self.level + 1 >= self.config.n_levels()
+    }
+
+    /// Bookkeeping after a completed chain step (mirrors the thread
+    /// scheduler's post-step block).
+    fn post_step(&mut self, ctx: &VCtx<'_, Msg>) {
+        if self.burnin_left > 0 {
+            self.burnin_left -= 1;
+            if self.burnin_left == 0 {
+                // warm chain counts as ready
+                self.steps_since_serve = self.rho();
+            }
+            return;
+        }
+        self.steps_since_serve += 1;
+        if self.producing {
+            let fine_qoi = self.chain.state().qoi.clone();
+            let (y, coarse_qoi) = match self.chain.last_coarse() {
+                None => (fine_qoi.clone(), None),
+                Some(c) => (
+                    fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
+                    Some(c.qoi.clone()),
+                ),
+            };
+            let shards = self.config.collector_shards;
+            self.shard_rr = (self.shard_rr + 1) % shards;
+            ctx.send(
+                self.config.collector_rank(self.level, self.shard_rr),
+                Msg::Correction {
+                    level: self.level,
+                    y,
+                    theta: self.chain.state().theta.clone(),
+                    fine_qoi,
+                    coarse_qoi,
+                },
+            );
+        }
+        if self.steps_since_serve >= self.rho() {
+            if let Some(reply_to) = self.pending_serves.pop_front() {
+                let s = self.chain.state();
+                ctx.send(
+                    reply_to,
+                    Msg::CoarseSample {
+                        level: self.level,
+                        theta: s.theta.clone(),
+                        log_density: s.log_density,
+                        qoi: s.qoi.clone(),
+                    },
+                );
+                self.steps_since_serve = 0;
+                self.announced = false;
+            } else if !self.announced && !self.is_top() {
+                ctx.send(PHONEBOOK, Msg::SampleReady { level: self.level });
+                self.announced = true;
+            }
+        }
+    }
+
+    fn want_step(&self) -> bool {
+        self.burnin_left > 0
+            || self.producing
+            || !self.pending_serves.is_empty()
+            || (!self.is_top() && (!self.announced || self.steps_since_serve < self.rho()))
+    }
+
+    /// Teardown: poison outstanding serve requests, report, exit.
+    fn teardown(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
+        for reply_to in self.pending_serves.drain(..) {
+            ctx.send(reply_to, Msg::Poison);
+        }
+        while let Some(env) = ctx.try_recv() {
+            if let Msg::Serve { reply_to } = env.msg {
+                ctx.send(reply_to, Msg::Poison);
+            }
+        }
+        let evals: Vec<usize> = self.counters.iter().map(EvalCounter::evaluations).collect();
+        let eval_secs: Vec<f64> = self.counters.iter().map(EvalCounter::total_secs).collect();
+        ctx.send(ROOT, Msg::ControllerReport { evals, eval_secs });
+        Poll::Exit(RoleOut::Quiet)
+    }
+}
+
+impl VirtualRank<Msg> for ControllerRank<'_> {
+    type Output = RoleOut;
+
+    fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
+        // 1. control messages. While a coarse request is in flight,
+        //    `Reassign` stays buffered (the thread scheduler likewise
+        //    finishes the in-flight step before rebuilding).
+        let awaiting = self.awaiting_coarse;
+        while let Some(env) = ctx.try_recv_match(|e| {
+            matches!(
+                e.msg,
+                Msg::Serve { .. } | Msg::StopProducing { .. } | Msg::Shutdown
+            ) || (!awaiting && matches!(e.msg, Msg::Reassign { .. }))
+        }) {
+            match env.msg {
+                Msg::Serve { reply_to } => self.pending_serves.push_back(reply_to),
+                Msg::StopProducing { level } => {
+                    self.done_levels[level] = true;
+                    if level == self.level {
+                        self.producing = false;
+                    }
+                }
+                Msg::Reassign { level } => {
+                    // abandon this chain, rebuild on the new level;
+                    // poison anyone we promised to serve
+                    for reply_to in self.pending_serves.drain(..) {
+                        ctx.send(reply_to, Msg::Poison);
+                    }
+                    self.level = level;
+                    self.chain = Self::build_chain(self.factory, &self.counters, level);
+                    self.reset_level_state();
+                }
+                Msg::Shutdown => return self.teardown(ctx),
+                _ => unreachable!(),
+            }
+        }
+
+        // 2. fulfill a suspended step if its coarse sample arrived
+        if self.awaiting_coarse {
+            let want_level = self.level - 1;
+            let Some(env) = ctx.try_recv_match(|e| {
+                matches!(&e.msg, Msg::CoarseSample { level, .. } if *level == want_level)
+                    || matches!(e.msg, Msg::Poison)
+            }) else {
+                return Poll::Wait(coarse_wait_pred(want_level));
+            };
+            let coarse = match env.msg {
+                Msg::CoarseSample {
+                    theta,
+                    log_density,
+                    qoi,
+                    ..
+                } => CoarseSample {
+                    theta,
+                    log_density,
+                    qoi,
+                    sub_anchor: None,
+                },
+                _ => poison_sample(),
+            };
+            self.awaiting_coarse = false;
+            let span = self.span_kind();
+            let eval_start = self.tracer.now();
+            self.chain.resume_step(&mut self.rng, coarse);
+            self.tracer
+                .record(self.rank, span, eval_start, self.tracer.now());
+            self.post_step(ctx);
+            return Poll::Ready;
+        }
+
+        // 3. advance the chain if there is a reason to
+        if self.want_step() {
+            let span = self.span_kind();
+            let eval_start = self.tracer.now();
+            match self.chain.poll_step(&mut self.rng) {
+                StepOutcome::Done(_) => {
+                    self.tracer
+                        .record(self.rank, span, eval_start, self.tracer.now());
+                    self.post_step(ctx);
+                    Poll::Ready
+                }
+                StepOutcome::NeedCoarse => {
+                    self.awaiting_coarse = true;
+                    ctx.send(
+                        PHONEBOOK,
+                        Msg::CoarseRequest {
+                            level: self.level - 1,
+                            reply_to: self.rank,
+                        },
+                    );
+                    Poll::Wait(coarse_wait_pred(self.level - 1))
+                }
+            }
+        } else {
+            // idle: any message may change the situation
+            Poll::Wait(Box::new(|_| true))
+        }
+    }
+}
+
+/// Wait predicate of a controller suspended on a coarse request: its
+/// sample, a teardown poison, or shutdown (the single definition keeps
+/// the suspend and re-suspend paths in sync).
+fn coarse_wait_pred(want_level: usize) -> crate::runtime::WaitPred<Msg> {
+    Box::new(move |e| {
+        matches!(&e.msg, Msg::CoarseSample { level, .. } if *level == want_level)
+            || matches!(e.msg, Msg::Poison | Msg::Shutdown)
+    })
+}
+
+// ---------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------
+
+/// Run parallel MLMCMC on the cooperative runtime: the thread scheduler's
+/// policy with virtual ranks, batched routing and sharded collectors.
+///
+/// # Panics
+/// Panics on inconsistent configuration (levels beyond the factory,
+/// levels without chains, zero workers/shards).
+pub fn run_runtime(
+    factory: &dyn LevelFactory,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+) -> RuntimeReport {
+    assert!(
+        config.n_levels() <= factory.n_levels(),
+        "run_runtime: more levels configured than the factory provides"
+    );
+    assert!(
+        config.base.chains_per_level.iter().all(|&c| c >= 1),
+        "run_runtime: every level needs at least one chain"
+    );
+    assert!(config.collector_shards >= 1, "run_runtime: need >= 1 shard");
+    let start = Instant::now();
+    let runtime = Runtime::new(config.n_workers);
+    let run = runtime.run(
+        config.n_ranks(),
+        |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + '_> {
+            if rank == ROOT {
+                Box::new(RootRank::new(config, start))
+            } else if rank == PHONEBOOK {
+                Box::new(PhonebookRank::new(config, tracer))
+            } else if rank < config.first_controller_rank() {
+                let level = (rank - 2) / config.collector_shards;
+                let shard = (rank - 2) % config.collector_shards;
+                Box::new(CollectorRank::new(
+                    level,
+                    config.shard_quota(level, shard),
+                    config.base.record_samples,
+                ))
+            } else {
+                Box::new(ControllerRank::new(factory, config, tracer, rank))
+            }
+        },
+    );
+    let mut report = None;
+    for out in run.results {
+        if let RoleOut::Root(boxed) = out {
+            report = Some(*boxed);
+        }
+    }
+    let (report, phonebook) = report.expect("root must produce a report");
+    RuntimeReport {
+        report,
+        phonebook,
+        runtime: run.stats,
+        n_workers: runtime.n_workers(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uq_linalg::prob::isotropic_gaussian_logpdf;
+    use uq_mcmc::proposal::GaussianRandomWalk;
+    use uq_mcmc::Proposal;
+
+    /// Analytic Gaussian hierarchy (same targets as the scheduler tests).
+    struct GaussianHierarchy {
+        means: Vec<f64>,
+        sds: Vec<f64>,
+        rho: usize,
+    }
+
+    impl GaussianHierarchy {
+        fn three_level() -> Self {
+            Self {
+                means: vec![0.6, 0.9, 1.0],
+                sds: vec![0.65, 0.55, 0.5],
+                rho: 3,
+            }
+        }
+    }
+
+    struct Target {
+        mean: f64,
+        sd: f64,
+    }
+
+    impl SamplingProblem for Target {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn log_density(&mut self, theta: &[f64]) -> f64 {
+            isotropic_gaussian_logpdf(theta, &[self.mean], self.sd)
+        }
+    }
+
+    impl LevelFactory for GaussianHierarchy {
+        fn n_levels(&self) -> usize {
+            self.means.len()
+        }
+        fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+            Box::new(Target {
+                mean: self.means[level],
+                sd: self.sds[level],
+            })
+        }
+        fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+            Box::new(GaussianRandomWalk::new(0.8))
+        }
+        fn subsampling_rate(&self, _level: usize) -> usize {
+            self.rho
+        }
+        fn starting_point(&self, _level: usize) -> Vec<f64> {
+            vec![0.0]
+        }
+    }
+
+    #[test]
+    fn two_level_runtime_run_completes() {
+        let h = GaussianHierarchy {
+            means: vec![0.5, 1.0],
+            sds: vec![0.6, 0.5],
+            rho: 3,
+        };
+        let mut config = RuntimeConfig::new(vec![2000, 800], vec![1, 1]);
+        config.n_workers = 2;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        assert_eq!(r.report.levels[0].n_samples, 2000);
+        assert_eq!(r.report.levels[1].n_samples, 800);
+        assert!(r.report.total_evaluations() >= 2800);
+        assert!(r.phonebook.messages > 0);
+    }
+
+    #[test]
+    fn three_level_estimate_matches_truth() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![30_000, 4_000, 1_500], vec![2, 2, 1]);
+        config.base.burn_in = vec![300, 100, 50];
+        config.n_workers = 4;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        let est = r.report.expectation()[0];
+        assert!(
+            (est - 1.0).abs() < 0.08,
+            "runtime telescoping estimate {est}"
+        );
+        assert!((r.report.levels[0].mean_correction[0] - 0.6).abs() < 0.08);
+        assert!((r.report.levels[1].mean_correction[0] - 0.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn sharded_collectors_hit_exact_targets() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![4000, 900, 301], vec![2, 1, 1]);
+        config.collector_shards = 3;
+        config.n_workers = 4;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        // quotas 1334/1333/1333 etc. sum exactly to the targets
+        assert_eq!(r.report.levels[0].n_samples, 4000);
+        assert_eq!(r.report.levels[1].n_samples, 900);
+        assert_eq!(r.report.levels[2].n_samples, 301);
+        assert!(r.report.expectation()[0].is_finite());
+    }
+
+    #[test]
+    fn sharded_moments_match_unsharded() {
+        // identical seeds and deterministic routing are NOT guaranteed
+        // across shard counts (collector arrival order differs), so this
+        // is a statistical check: both estimates near the same truth
+        let h = GaussianHierarchy::three_level();
+        let mut one = RuntimeConfig::new(vec![20_000, 2_500, 900], vec![2, 1, 1]);
+        one.base.burn_in = vec![200, 80, 40];
+        one.n_workers = 4;
+        let mut four = one.clone();
+        four.collector_shards = 4;
+        let a = run_runtime(&h, &one, &Tracer::disabled());
+        let b = run_runtime(&h, &four, &Tracer::disabled());
+        let ea = a.report.expectation()[0];
+        let eb = b.report.expectation()[0];
+        assert!((ea - 1.0).abs() < 0.1, "unsharded {ea}");
+        assert!((eb - 1.0).abs() < 0.1, "sharded {eb}");
+        // variances merged across shards stay in a sane range
+        for lvl in &b.report.levels {
+            for &v in &lvl.var_correction {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn many_virtual_ranks_on_few_workers() {
+        // more controllers than any machine has cores: 60 chains on 3
+        // worker threads (the thread scheduler would spawn 66 threads)
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![3000, 900, 300], vec![30, 20, 10]);
+        config.n_workers = 3;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        assert_eq!(r.report.n_ranks, 2 + 3 + 60);
+        assert_eq!(r.report.levels[0].n_samples, 3000);
+        assert_eq!(r.report.levels[2].n_samples, 300);
+        assert!(r.report.expectation()[0].is_finite());
+        // batching must actually happen under this much traffic
+        assert!(r.phonebook.max_batch >= 2, "stats {:?}", r.phonebook);
+    }
+
+    #[test]
+    fn load_balancer_disabled_still_completes() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![3000, 600, 200], vec![1, 1, 1]);
+        config.base.load_balancing = false;
+        config.n_workers = 2;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        assert_eq!(r.report.reassignments, 0);
+        assert_eq!(r.phonebook.reassignments, 0);
+        assert_eq!(r.report.levels[2].n_samples, 200);
+    }
+
+    #[test]
+    fn recording_returns_samples_and_pairs() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![400, 150, 60], vec![1, 1, 1]);
+        config.base.record_samples = true;
+        config.collector_shards = 2;
+        let r = run_runtime(&h, &config, &Tracer::disabled());
+        assert_eq!(r.report.levels[0].theta_samples.len(), 400);
+        assert_eq!(r.report.levels[1].correction_pairs.len(), 150);
+        assert!(r.report.levels[0].correction_pairs.is_empty());
+    }
+
+    #[test]
+    fn tracer_captures_eval_spans() {
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![300, 100, 40], vec![1, 1, 1]);
+        config.base.burn_in = vec![50, 20, 10];
+        let tracer = Tracer::new();
+        let _ = run_runtime(&h, &config, &tracer);
+        let events = tracer.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, SpanKind::Eval { .. })));
+        // burn-in steps must be classified like the thread scheduler's
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, SpanKind::Burnin { .. })));
+    }
+}

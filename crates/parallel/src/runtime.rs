@@ -1,0 +1,597 @@
+//! Cooperative virtual-rank runtime: many suspendable ranks per worker
+//! thread.
+//!
+//! The thread scheduler in [`crate::scheduler`] spawns one OS thread per
+//! rank, so live runs are bounded by the physical core count and only the
+//! discrete-event simulator reaches the paper's 1024-rank scale. This
+//! module removes that bound: a **virtual rank** is an explicitly
+//! suspendable state machine implementing [`VirtualRank`] — each
+//! [`poll`](VirtualRank::poll) runs until the rank would block on a
+//! receive, then returns a *wait predicate* ([`Poll::Wait`]); the rank is
+//! re-polled only when a matching message arrives. A small pool of worker
+//! threads (typically far fewer than ranks) drives the machines through
+//! per-worker run queues with message-arrival wakeups, so hundreds to
+//! thousands of controllers run **live** on a handful of cores.
+//!
+//! Delivery semantics mirror [`crate::comm`]: per-rank FIFO queues,
+//! non-blocking sends, out-of-order messages buffered in arrival order
+//! and re-delivered first ([`VCtx::try_recv_match`] is the non-blocking
+//! analogue of `RankCtx::recv_match`), and sends to exited ranks are
+//! dropped — here counted in [`RuntimeStats::dropped_sends`] rather than
+//! lost silently.
+//!
+//! Scheduling is deterministic in structure (rank `r` is pinned to worker
+//! `r % n_workers`, run queues are FIFO) but not in timing: wakeup
+//! interleavings across workers depend on the OS, exactly like the thread
+//! scheduler's. The MLMCMC role protocols ported onto this runtime live
+//! in [`crate::roles`].
+
+use crate::comm::Envelope;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Wait predicate returned by [`Poll::Wait`]: `true` for any message that
+/// should wake the suspended rank.
+pub type WaitPred<M> = Box<dyn FnMut(&Envelope<M>) -> bool + Send>;
+
+/// What a virtual rank decided after one poll.
+pub enum Poll<M, R> {
+    /// The rank has more work it can do right now: re-enqueue it on its
+    /// worker's run queue (after everything already queued — one unit of
+    /// work per poll keeps scheduling fair across the ranks sharing a
+    /// worker).
+    Ready,
+    /// The rank would block on a receive: suspend until a message
+    /// matching the predicate arrives. The rank must have drained its
+    /// context with (at least) the same predicate before returning this;
+    /// the runtime re-checks pending messages under the slot lock, so the
+    /// install-vs-arrival race cannot lose a wakeup.
+    Wait(WaitPred<M>),
+    /// The rank finished with a result; it receives no further polls and
+    /// subsequent sends to it are counted as dropped.
+    Exit(R),
+}
+
+/// A suspendable virtual rank (one role state machine).
+pub trait VirtualRank<M: Send> {
+    /// Result type collected by [`Runtime::run`] when the rank exits.
+    type Output;
+
+    /// Run until the next suspension point.
+    fn poll(&mut self, ctx: &mut VCtx<'_, M>) -> Poll<M, Self::Output>;
+}
+
+/// Scheduling state of one virtual rank.
+enum SlotState<M> {
+    /// On its worker's run queue or currently being polled.
+    Runnable,
+    /// Suspended on a wait predicate.
+    Waiting(WaitPred<M>),
+    /// Exited; further sends are dropped (and counted).
+    Exited,
+}
+
+/// Shared per-rank mailbox + scheduling state (one lock per rank: senders
+/// contend only with the rank's own worker, never with each other
+/// globally).
+struct RankSlot<M> {
+    queue: VecDeque<Envelope<M>>,
+    state: SlotState<M>,
+}
+
+struct Worker {
+    run_queue: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+}
+
+struct Shared<M> {
+    slots: Vec<Mutex<RankSlot<M>>>,
+    workers: Vec<Worker>,
+    /// Ranks that have not exited yet.
+    live: AtomicUsize,
+    /// All ranks exited — workers drain and return.
+    done: AtomicBool,
+    dropped_sends: AtomicUsize,
+    polls: AtomicUsize,
+    wakeups: AtomicUsize,
+}
+
+impl<M: Send> Shared<M> {
+    fn worker_of(&self, rank: usize) -> &Worker {
+        &self.workers[rank % self.workers.len()]
+    }
+
+    fn enqueue(&self, rank: usize) {
+        let worker = self.worker_of(rank);
+        let mut queue = worker.run_queue.lock().expect("runtime poisoned");
+        queue.push_back(rank);
+        worker.cv.notify_one();
+    }
+
+    /// Deliver `env` to `to`, waking it when its wait predicate matches.
+    fn send(&self, to: usize, env: Envelope<M>) {
+        let wake = {
+            let mut slot = self.slots[to].lock().expect("runtime poisoned");
+            match &mut slot.state {
+                SlotState::Exited => {
+                    let prev = self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+                    // debug builds surface the first loss per run
+                    // (teardown legitimately drops a handful)
+                    #[cfg(debug_assertions)]
+                    if prev == 0 {
+                        eprintln!(
+                            "uq-parallel runtime: dropping send from rank {} to exited rank {to} \
+                             (further drops counted silently)",
+                            env.from
+                        );
+                    }
+                    #[cfg(not(debug_assertions))]
+                    let _ = prev;
+                    return;
+                }
+                SlotState::Waiting(pred) => {
+                    let matched = pred(&env);
+                    slot.queue.push_back(env);
+                    if matched {
+                        slot.state = SlotState::Runnable;
+                    }
+                    matched
+                }
+                SlotState::Runnable => {
+                    slot.queue.push_back(env);
+                    false
+                }
+            }
+        };
+        if wake {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.enqueue(to);
+        }
+    }
+}
+
+/// Per-poll communication handle of a virtual rank — the non-blocking
+/// counterpart of [`crate::comm::RankCtx`].
+pub struct VCtx<'a, M: Send> {
+    rank: usize,
+    size: usize,
+    shared: &'a Shared<M>,
+    /// Rank-local buffer of already-pulled messages (arrival order).
+    buffer: &'a mut VecDeque<Envelope<M>>,
+}
+
+impl<M: Send> VCtx<'_, M> {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of virtual ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to rank `to`; never blocks. Sends to exited ranks are
+    /// dropped and counted in [`RuntimeStats::dropped_sends`].
+    pub fn send(&self, to: usize, msg: M) {
+        assert!(to < self.size, "send: rank {to} out of range");
+        self.shared.send(
+            to,
+            Envelope {
+                from: self.rank,
+                msg,
+            },
+        );
+    }
+
+    /// Move everything queued in the shared mailbox into the rank-local
+    /// buffer (one lock acquisition).
+    fn pull(&mut self) {
+        let mut slot = self.shared.slots[self.rank]
+            .lock()
+            .expect("runtime poisoned");
+        while let Some(env) = slot.queue.pop_front() {
+            self.buffer.push_back(env);
+        }
+    }
+
+    /// Non-blocking receive of the next message in arrival order.
+    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+        if self.buffer.is_empty() {
+            self.pull();
+        }
+        self.buffer.pop_front()
+    }
+
+    /// Non-blocking receive of the first message satisfying `pred`;
+    /// non-matching messages stay buffered in arrival order (the
+    /// non-blocking analogue of `RankCtx::recv_match`).
+    pub fn try_recv_match(
+        &mut self,
+        mut pred: impl FnMut(&Envelope<M>) -> bool,
+    ) -> Option<Envelope<M>> {
+        self.pull();
+        let pos = self.buffer.iter().position(&mut pred)?;
+        self.buffer.remove(pos)
+    }
+
+    /// Put a message back at the front of the buffer (next to be
+    /// returned by `try_recv`).
+    pub fn unrecv(&mut self, env: Envelope<M>) {
+        self.buffer.push_front(env);
+    }
+}
+
+/// Counters describing one runtime execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Total `poll` invocations across all ranks.
+    pub polls: usize,
+    /// Wakeups caused by a message matching a wait predicate.
+    pub wakeups: usize,
+    /// Sends to already-exited ranks (observable shutdown message loss).
+    pub dropped_sends: usize,
+}
+
+/// Results of a runtime execution.
+pub struct RuntimeRun<R> {
+    /// Per-rank outputs, indexed by rank.
+    pub results: Vec<R>,
+    pub stats: RuntimeStats,
+}
+
+/// The cooperative runtime.
+pub struct Runtime {
+    n_workers: usize,
+}
+
+impl Runtime {
+    /// A runtime driving its virtual ranks with `n_workers` OS threads.
+    ///
+    /// # Panics
+    /// Panics if `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "Runtime: need at least one worker");
+        Self { n_workers }
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Run `n_ranks` virtual ranks to completion and gather their outputs
+    /// by rank index. `factory(rank, size)` builds each rank's state
+    /// machine — it is invoked on the worker thread that owns the rank
+    /// (rank `r` lives on worker `r % n_workers`), so machines never
+    /// cross threads and need not be `Send`.
+    ///
+    /// # Panics
+    /// Propagates panics from worker threads.
+    pub fn run<'a, M, R, F>(&self, n_ranks: usize, factory: F) -> RuntimeRun<R>
+    where
+        M: Send + 'a,
+        R: Send + 'a,
+        F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + 'a> + Sync,
+    {
+        assert!(n_ranks > 0, "Runtime::run: need at least one rank");
+        let n_workers = self.n_workers.min(n_ranks);
+        let shared = Shared {
+            slots: (0..n_ranks)
+                .map(|_| {
+                    Mutex::new(RankSlot {
+                        queue: VecDeque::new(),
+                        state: SlotState::Runnable,
+                    })
+                })
+                .collect(),
+            workers: (0..n_workers)
+                .map(|_| Worker {
+                    run_queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            live: AtomicUsize::new(n_ranks),
+            done: AtomicBool::new(false),
+            dropped_sends: AtomicUsize::new(0),
+            polls: AtomicUsize::new(0),
+            wakeups: AtomicUsize::new(0),
+        };
+        // every rank starts runnable, queued in rank order on its worker
+        for (worker_id, worker) in shared.workers.iter().enumerate() {
+            let mut queue = worker.run_queue.lock().expect("runtime poisoned");
+            queue.extend((worker_id..n_ranks).step_by(n_workers));
+        }
+        let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let factory = &factory;
+            let mut handles = Vec::with_capacity(n_workers);
+            for worker_id in 0..n_workers {
+                handles.push(scope.spawn(move || worker_loop(shared, worker_id, n_ranks, factory)));
+            }
+            for handle in handles {
+                for (rank, out) in handle.join().expect("runtime worker panicked") {
+                    results[rank] = Some(out);
+                }
+            }
+        });
+        RuntimeRun {
+            results: results.into_iter().map(Option::unwrap).collect(),
+            stats: RuntimeStats {
+                polls: shared.polls.load(Ordering::Relaxed),
+                wakeups: shared.wakeups.load(Ordering::Relaxed),
+                dropped_sends: shared.dropped_sends.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// One worker: pop runnable ranks, poll their machines, handle the
+/// returned suspension.
+fn worker_loop<'a, M, R, F>(
+    shared: &Shared<M>,
+    worker_id: usize,
+    n_ranks: usize,
+    factory: &F,
+) -> Vec<(usize, R)>
+where
+    M: Send + 'a,
+    R: Send + 'a,
+    F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + 'a> + Sync,
+{
+    struct Entry<'a, M: Send, R> {
+        machine: Box<dyn VirtualRank<M, Output = R> + 'a>,
+        buffer: VecDeque<Envelope<M>>,
+    }
+    let mut machines: HashMap<usize, Entry<'a, M, R>> = HashMap::new();
+    let mut outputs = Vec::new();
+    let worker = &shared.workers[worker_id];
+    loop {
+        // next runnable rank (or exit once every rank has finished)
+        let rank = {
+            let mut queue = worker.run_queue.lock().expect("runtime poisoned");
+            loop {
+                if let Some(rank) = queue.pop_front() {
+                    break rank;
+                }
+                if shared.done.load(Ordering::Acquire) {
+                    return outputs;
+                }
+                queue = worker.cv.wait(queue).expect("runtime poisoned");
+            }
+        };
+        let entry = machines.entry(rank).or_insert_with(|| Entry {
+            machine: factory(rank, n_ranks),
+            buffer: VecDeque::new(),
+        });
+        shared.polls.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = VCtx {
+            rank,
+            size: n_ranks,
+            shared,
+            buffer: &mut entry.buffer,
+        };
+        match entry.machine.poll(&mut ctx) {
+            Poll::Ready => shared.enqueue(rank),
+            Poll::Wait(mut pred) => {
+                // Install the predicate under the slot lock, re-checking
+                // messages that raced in after the rank last drained (and,
+                // defensively, the rank-local buffer): a match means the
+                // rank stays runnable instead of suspending.
+                let matched_buffered = entry.buffer.iter().any(&mut pred);
+                let mut slot = shared.slots[rank].lock().expect("runtime poisoned");
+                if matched_buffered || slot.queue.iter().any(&mut pred) {
+                    drop(slot);
+                    shared.enqueue(rank);
+                } else {
+                    slot.state = SlotState::Waiting(pred);
+                }
+            }
+            Poll::Exit(out) => {
+                {
+                    let mut slot = shared.slots[rank].lock().expect("runtime poisoned");
+                    slot.state = SlotState::Exited;
+                    // messages never received count as dropped too —
+                    // shutdown loss must be observable, not silent
+                    let lost = slot.queue.len() + entry.buffer.len();
+                    shared.dropped_sends.fetch_add(lost, Ordering::Relaxed);
+                    slot.queue.clear();
+                }
+                machines.remove(&rank);
+                outputs.push((rank, out));
+                if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    shared.done.store(true, Ordering::Release);
+                    for w in &shared.workers {
+                        let _guard = w.run_queue.lock().expect("runtime poisoned");
+                        w.cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum TestMsg {
+        Token(usize),
+        Noise,
+        Stop,
+    }
+
+    type Machine = Box<dyn VirtualRank<TestMsg, Output = usize>>;
+
+    /// Ring: rank 0 injects `Token(0)`; on receipt every rank forwards
+    /// `Token(v + 1)` to the next rank (modulo size) and exits with `v`.
+    /// The final forward targets the already-exited rank 1, so exactly
+    /// one send is dropped — which the stats must report.
+    struct RingRank {
+        injected: bool,
+    }
+
+    impl VirtualRank<TestMsg> for RingRank {
+        type Output = usize;
+        fn poll(&mut self, ctx: &mut VCtx<'_, TestMsg>) -> Poll<TestMsg, usize> {
+            if ctx.rank() == 0 && !self.injected {
+                self.injected = true;
+                ctx.send(1 % ctx.size(), TestMsg::Token(0));
+            }
+            match ctx.try_recv_match(|e| matches!(e.msg, TestMsg::Token(_))) {
+                Some(env) => {
+                    let TestMsg::Token(v) = env.msg else {
+                        unreachable!()
+                    };
+                    ctx.send((ctx.rank() + 1) % ctx.size(), TestMsg::Token(v + 1));
+                    Poll::Exit(v)
+                }
+                None => Poll::Wait(Box::new(|e| matches!(e.msg, TestMsg::Token(_)))),
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_many_ranks_few_workers() {
+        // far more virtual ranks than workers: the whole point
+        let n = 500;
+        let run = Runtime::new(4).run(n, |_, _| Box::new(RingRank { injected: false }) as Machine);
+        for (rank, &v) in run.results.iter().enumerate() {
+            let expect = if rank == 0 { n - 1 } else { rank - 1 };
+            assert_eq!(v, expect, "rank {rank}");
+        }
+        // rank 0's final forward hit the exited rank 1
+        assert_eq!(run.stats.dropped_sends, 1);
+        // every rank polled at least once; most tokens arrive while their
+        // target is already suspended on the wait predicate (ranks whose
+        // token raced ahead of their first poll wake without one)
+        assert!(run.stats.polls >= n);
+        assert!(run.stats.wakeups > 0);
+    }
+
+    /// Gather: every rank > 0 sends its id to rank 0 and exits; rank 0
+    /// wakes on arrivals (any-message predicate) until it has them all.
+    struct GatherRank {
+        seen: usize,
+        sum: usize,
+        sent: bool,
+    }
+
+    impl VirtualRank<TestMsg> for GatherRank {
+        type Output = usize;
+        fn poll(&mut self, ctx: &mut VCtx<'_, TestMsg>) -> Poll<TestMsg, usize> {
+            if ctx.rank() != 0 {
+                if !self.sent {
+                    self.sent = true;
+                    ctx.send(0, TestMsg::Token(ctx.rank()));
+                }
+                return Poll::Exit(0);
+            }
+            while let Some(env) = ctx.try_recv() {
+                if let TestMsg::Token(v) = env.msg {
+                    self.seen += 1;
+                    self.sum += v;
+                }
+            }
+            if self.seen == ctx.size() - 1 {
+                Poll::Exit(self.sum)
+            } else {
+                Poll::Wait(Box::new(|_| true))
+            }
+        }
+    }
+
+    #[test]
+    fn gather_under_contention() {
+        let n = 512;
+        let run = Runtime::new(8).run(n, |_, _| {
+            Box::new(GatherRank {
+                seen: 0,
+                sum: 0,
+                sent: false,
+            }) as Machine
+        });
+        assert_eq!(run.results[0], (1..n).sum::<usize>());
+        assert_eq!(run.stats.dropped_sends, 0);
+    }
+
+    /// Rank 0 waits specifically for a `Token` while `Noise` arrives
+    /// first; after matching out of order, the buffered noise must
+    /// re-deliver in arrival order.
+    struct MatchRank {
+        sent: bool,
+    }
+
+    impl VirtualRank<TestMsg> for MatchRank {
+        type Output = usize;
+        fn poll(&mut self, ctx: &mut VCtx<'_, TestMsg>) -> Poll<TestMsg, usize> {
+            if ctx.rank() == 1 {
+                if !self.sent {
+                    self.sent = true;
+                    ctx.send(0, TestMsg::Noise);
+                    ctx.send(0, TestMsg::Stop);
+                    ctx.send(0, TestMsg::Token(7));
+                }
+                return Poll::Exit(0);
+            }
+            match ctx.try_recv_match(|e| matches!(e.msg, TestMsg::Token(_))) {
+                Some(env) => {
+                    let TestMsg::Token(v) = env.msg else {
+                        unreachable!()
+                    };
+                    // the skipped messages re-deliver in arrival order
+                    assert_eq!(ctx.try_recv().expect("noise").msg, TestMsg::Noise);
+                    assert_eq!(ctx.try_recv().expect("stop").msg, TestMsg::Stop);
+                    assert!(ctx.try_recv().is_none());
+                    Poll::Exit(v)
+                }
+                None => Poll::Wait(Box::new(|e| matches!(e.msg, TestMsg::Token(_)))),
+            }
+        }
+    }
+
+    #[test]
+    fn wait_predicate_skips_nonmatching_and_preserves_order() {
+        let run = Runtime::new(2).run(2, |_, _| Box::new(MatchRank { sent: false }) as Machine);
+        assert_eq!(run.results[0], 7);
+        assert_eq!(run.stats.dropped_sends, 0);
+    }
+
+    #[test]
+    fn unrecv_requeues_at_front() {
+        struct Requeue {
+            sent: bool,
+        }
+        impl VirtualRank<TestMsg> for Requeue {
+            type Output = usize;
+            fn poll(&mut self, ctx: &mut VCtx<'_, TestMsg>) -> Poll<TestMsg, usize> {
+                if ctx.rank() == 1 {
+                    if !self.sent {
+                        self.sent = true;
+                        ctx.send(0, TestMsg::Token(1));
+                        ctx.send(0, TestMsg::Token(2));
+                    }
+                    return Poll::Exit(0);
+                }
+                match ctx.try_recv_match(|e| matches!(e.msg, TestMsg::Token(2))) {
+                    Some(env) => {
+                        ctx.unrecv(env);
+                        // Token(1) was buffered first, but the unrecv'd
+                        // Token(2) jumps the queue
+                        let TestMsg::Token(v) = ctx.try_recv().expect("front").msg else {
+                            panic!("expected token")
+                        };
+                        Poll::Exit(v)
+                    }
+                    None => Poll::Wait(Box::new(|e| matches!(e.msg, TestMsg::Token(2)))),
+                }
+            }
+        }
+        let run = Runtime::new(1).run(2, |_, _| {
+            Box::new(Requeue { sent: false }) as Box<dyn VirtualRank<TestMsg, Output = usize>>
+        });
+        assert_eq!(run.results[0], 2);
+    }
+}

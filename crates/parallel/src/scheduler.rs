@@ -30,7 +30,7 @@ use std::time::Instant;
 use uq_mcmc::stats::VectorMoments;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
-use uq_mlmcmc::coupled::{CoarseProposalSource, CoarseSample, MlChain};
+use uq_mlmcmc::coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain};
 use uq_mlmcmc::LevelFactory;
 
 /// Messages exchanged between ranks.
@@ -70,6 +70,10 @@ pub enum Msg {
     Shutdown,
     /// Phonebook → root: shutdown acknowledged, no more forwards.
     PhonebookDown,
+    /// Phonebook → root at shutdown: routing/batching statistics (sent by
+    /// the cooperative runtime's phonebook; the thread scheduler's sends
+    /// none and every role ignores it).
+    PhonebookReport(Box<crate::roles::PhonebookStats>),
     /// Collector → root at shutdown: accumulated statistics.
     CollectorReport(Box<CollectorData>),
     /// Controller → root at exit: per-level evaluation counts.
@@ -218,9 +222,14 @@ impl CoarseProposalSource for RemoteCoarseSource {
     // effectively independent stationary draws — the independence-
     // proposal limit of the Algorithm-2 acceptance (see uq-mlmcmc's
     // coupled-kernel docs).
-    fn next_coarse(&mut self, _rng: &mut dyn Rng, _anchor: &CoarseSample) -> CoarseSample {
+    //
+    // This source blocks its OS-thread rank inside `recv_match` (the
+    // thread scheduler dedicates a thread per rank), so it is always
+    // `Ready`; the cooperative runtime's controllers use
+    // `PendingCoarseSource` and suspend instead.
+    fn request_coarse(&mut self, _rng: &mut dyn Rng, _anchor: &CoarseSample) -> CoarseAcquire {
         if self.stop.load(Ordering::Relaxed) {
-            return poison_sample();
+            return CoarseAcquire::Ready(poison_sample());
         }
         let mut ctx = self.ctx.lock();
         ctx.send(
@@ -237,7 +246,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
                 Msg::CoarseSample { level, .. } if *level == want_level
             ) || matches!(e.msg, Msg::Poison | Msg::Shutdown)
         });
-        match env.msg {
+        CoarseAcquire::Ready(match env.msg {
             Msg::CoarseSample {
                 theta,
                 log_density,
@@ -259,7 +268,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
                 self.stop.store(true, Ordering::Relaxed);
                 poison_sample()
             }
-        }
+        })
     }
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
@@ -274,7 +283,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
 
 /// Sentinel sample returned during teardown; its `-∞` density forces a
 /// rejection, so the chain state stays valid.
-fn poison_sample() -> CoarseSample {
+pub(crate) fn poison_sample() -> CoarseSample {
     CoarseSample {
         theta: Vec::new(),
         log_density: f64::NEG_INFINITY,

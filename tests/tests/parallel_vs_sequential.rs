@@ -1,13 +1,13 @@
-//! The parallel scheduler and the sequential driver must estimate the
-//! same quantities: both implement paper Algorithm 2, only the execution
-//! strategy differs.
+//! The parallel backends (thread scheduler and cooperative runtime) and
+//! the sequential driver must estimate the same quantities: all three
+//! implement paper Algorithm 2, only the execution strategy differs.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uq_linalg::prob::isotropic_gaussian_logpdf;
 use uq_mcmc::{GaussianRandomWalk, Proposal, SamplingProblem};
 use uq_mlmcmc::{run_sequential, LevelFactory, MlmcmcConfig};
-use uq_parallel::{run_parallel, ParallelConfig, Tracer};
+use uq_parallel::{run_parallel, run_runtime, ParallelConfig, RuntimeConfig, Tracer};
 
 struct Hierarchy;
 
@@ -94,4 +94,55 @@ fn parallel_handles_single_chain_layout() {
     let par = run_parallel(&Hierarchy, &pconfig, &Tracer::disabled());
     assert!(par.expectation()[0].is_finite());
     assert_eq!(par.reassignments, 0);
+}
+
+#[test]
+fn runtime_matches_thread_scheduler_estimate() {
+    // identical policy inputs and seeds; the cooperative runtime must
+    // reproduce the thread scheduler's per-level estimates within MC
+    // tolerance (interleavings differ, the schedule does not)
+    let samples = vec![20_000usize, 2_500, 600];
+    let burn_in = vec![300usize, 120, 50];
+
+    let mut pconfig = ParallelConfig::new(samples.clone(), vec![2, 2, 1]);
+    pconfig.burn_in = burn_in.clone();
+    let par = run_parallel(&Hierarchy, &pconfig, &Tracer::disabled());
+
+    let mut rconfig = RuntimeConfig::new(samples, vec![2, 2, 1]);
+    rconfig.base.burn_in = burn_in;
+    rconfig.n_workers = 4;
+    let rt = run_runtime(&Hierarchy, &rconfig, &Tracer::disabled());
+
+    for (a, b) in par.levels.iter().zip(&rt.report.levels) {
+        assert_eq!(a.n_samples, b.n_samples, "level {}", a.level);
+    }
+    let pe = par.expectation();
+    let re = rt.report.expectation();
+    let truth = [1.0, -1.0];
+    for k in 0..2 {
+        assert!(
+            (pe[k] - re[k]).abs() < 0.15,
+            "component {k}: scheduler {} vs runtime {}",
+            pe[k],
+            re[k]
+        );
+        assert!((re[k] - truth[k]).abs() < 0.12, "runtime {k}: {}", re[k]);
+    }
+}
+
+#[test]
+fn runtime_scales_past_physical_cores() {
+    // 120 virtual ranks on 3 workers — far beyond what the per-rank
+    // thread scheduler could host as live OS threads on small CI boxes
+    let mut rconfig = RuntimeConfig::new(vec![6_000, 1_200, 300], vec![70, 30, 12]);
+    rconfig.base.burn_in = vec![30, 15, 8];
+    rconfig.n_workers = 3;
+    rconfig.collector_shards = 2;
+    let rt = run_runtime(&Hierarchy, &rconfig, &Tracer::disabled());
+    assert_eq!(rt.report.n_ranks, 2 + 3 * 2 + 112);
+    assert_eq!(rt.report.levels[0].n_samples, 6_000);
+    assert_eq!(rt.report.levels[1].n_samples, 1_200);
+    assert_eq!(rt.report.levels[2].n_samples, 300);
+    assert!(rt.report.expectation()[0].is_finite());
+    assert!(rt.phonebook.messages > 0 && rt.phonebook.max_batch >= 2);
 }

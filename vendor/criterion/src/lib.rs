@@ -7,13 +7,89 @@
 //! wall-clock measurement loop: each benchmark is warmed up once, then
 //! timed over `sample_size` samples, and the median ns/iter is printed
 //! in a `cargo bench`-like format. No plotting, no statistics beyond
-//! the median — enough to compare kernels across PRs and to keep
+//! the median/mean — enough to compare kernels across PRs and to keep
 //! `cargo bench --no-run` / `cargo bench` working offline.
+//!
+//! **Machine-readable output:** when the `CRITERION_JSON` environment
+//! variable names a file, [`criterion_main!`] additionally writes every
+//! completed benchmark as a JSON array of
+//! `{"id": …, "mean_ns": …, "median_ns": …, "iters": …}` records, so
+//! bench trajectories can be tracked across PRs without scraping the
+//! text output.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark: id, mean/median ns per iteration, timed
+/// iteration count.
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    iters: usize,
+}
+
+/// Registry of every benchmark completed in this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Serialize all completed benchmarks to `$CRITERION_JSON` (no-op when
+/// the variable is unset). Called by [`criterion_main!`] after the last
+/// group; safe to call directly from custom harnesses.
+///
+/// `cargo bench` runs each bench target as its own process, so an
+/// existing summary at that path (recognized by our own layout) is
+/// **merged into**, not truncated — one file collects every harness of
+/// a bench invocation. Delete the file first for a fresh baseline.
+///
+/// # Panics
+/// Panics if the file cannot be written.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("criterion registry poisoned");
+    let mut json = String::from("[\n");
+    // previous harnesses' records (we only ever parse our own output:
+    // one "  { ... }[,]" line per record)
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        let old: Vec<&str> = existing
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .map(|l| l.trim_end().trim_end_matches(','))
+            .collect();
+        let n_old = old.len();
+        for (i, line) in old.into_iter().enumerate() {
+            json.push_str(line);
+            json.push_str(if !records.is_empty() || i + 1 < n_old {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+    }
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{ \"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"iters\": {} }}{comma}\n",
+            r.id.replace('"', "'"),
+            r.mean_ns,
+            r.median_ns,
+            r.iters
+        ));
+    }
+    json.push_str("]\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("criterion: create json directory");
+        }
+    }
+    std::fs::write(&path, json).expect("criterion: write json summary");
+    eprintln!("criterion: wrote {path}");
+}
 
 /// Identifier for a parameterized benchmark (`group/function/param`).
 #[derive(Clone, Debug)]
@@ -69,6 +145,17 @@ impl Bencher {
         self.samples.sort_unstable();
         self.samples[self.samples.len() / 2].as_nanos()
     }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
+    }
 }
 
 fn report(group: Option<&str>, id: &str, bencher: &mut Bencher) {
@@ -84,6 +171,15 @@ fn report(group: Option<&str>, id: &str, bencher: &mut Bencher) {
     } else {
         println!("bench: {full:<50} {ns:>12} ns/iter");
     }
+    RECORDS
+        .lock()
+        .expect("criterion registry poisoned")
+        .push(Record {
+            id: full,
+            mean_ns: bencher.mean_ns(),
+            median_ns: ns as f64,
+            iters: bencher.samples.len(),
+        });
 }
 
 /// A named group of related benchmarks.
@@ -186,13 +282,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main` running the listed benchmark groups.
+/// Define `main` running the listed benchmark groups, then writing the
+/// machine-readable summary (see [`write_json_summary`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // `cargo bench` passes harness flags like `--bench`; ignore them.
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
@@ -221,5 +319,56 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("cg", 64).to_string(), "cg/64");
         assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+
+    #[test]
+    fn json_merge_extends_existing_summary() {
+        // simulate a previous harness's output being extended by a later
+        // process (cargo bench runs each bench target separately)
+        let dir = std::env::temp_dir().join("criterion_json_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.json");
+        std::fs::write(
+            &path,
+            "[\n  { \"id\": \"old/one\", \"mean_ns\": 1.0, \"median_ns\": 1.0, \"iters\": 3 }\n]\n",
+        )
+        .unwrap();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("merge");
+        group.sample_size(2);
+        group.bench_function("new", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.finish();
+        std::env::set_var("CRITERION_JSON", &path);
+        write_json_summary();
+        std::env::remove_var("CRITERION_JSON");
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert!(merged.contains("old/one"), "prior harness kept: {merged}");
+        assert!(merged.contains("merge/new"), "new records added: {merged}");
+        assert!(merged.trim_end().ends_with(']'), "valid array: {merged}");
+        // every record line but the last must end with a comma
+        let records: Vec<&str> = merged
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .collect();
+        for (i, line) in records.iter().enumerate() {
+            assert_eq!(i + 1 < records.len(), line.trim_end().ends_with(','));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn completed_benchmarks_are_registered() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json");
+        group.sample_size(3);
+        group.bench_function("registered", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.id == "json/registered")
+            .expect("benchmark must be registered");
+        assert_eq!(r.iters, 3);
+        assert!(r.mean_ns >= 0.0 && r.median_ns >= 0.0);
     }
 }
