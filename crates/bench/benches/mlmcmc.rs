@@ -133,6 +133,8 @@ fn bench_des(c: &mut Criterion) {
         collector_service_time: 1e-3,
         load_balancing: true,
         seed: 4,
+        ledger: false,
+        ledger_pairing_overhead: 0.0,
     };
     c.bench_function("des_poisson_schedule_44chains", |b| {
         b.iter(|| black_box(simulate(&cfg)));

@@ -41,6 +41,8 @@ fn main() {
                 collector_service_time: 1e-3,
                 load_balancing: lb,
                 seed: args.seed,
+                ledger: false,
+                ledger_pairing_overhead: 0.0,
             };
             let r = simulate(&cfg);
             makespans[k] = r.makespan;

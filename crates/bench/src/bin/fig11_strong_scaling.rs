@@ -44,6 +44,8 @@ fn main() {
             collector_service_time: 1e-3,
             load_balancing: true,
             seed: args.seed,
+            ledger: false,
+            ledger_pairing_overhead: 0.0,
         };
         let r = simulate(&cfg);
         let base = *t32.get_or_insert(r.makespan * ranks_list[0] as f64);

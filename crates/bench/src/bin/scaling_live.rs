@@ -26,6 +26,15 @@
 //!
 //! Writes `results/BENCH_PR3.json` (the PR's perf artifact, uploaded by
 //! CI) and `results/scaling_live.csv`.
+//!
+//! Since PR 4 the runtime serves coarse proposals through the
+//! per-requester rewind ledger (a serve costs the server `ρ·(1 +
+//! diverged)` dedicated steps; the DES replays that schedule via its
+//! `ledger` mode, fed the live run's measured diverged fraction) and the
+//! worker pool steals work from hot workers — both visible in the
+//! reported `serves`/`diverged`/`steals` columns. **`--model swe`** runs
+//! the sweep against the real `uq-swe` Tohoku hierarchy instead of the
+//! synthetic-cost Gaussian and writes `results/BENCH_PR4.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -95,14 +104,14 @@ impl LevelFactory for SpinHierarchy {
 
 /// Allocate `n_chains` over levels proportionally to their step demand
 /// (own samples + the serving stride feeding the next level up).
-fn allocate_chains(n_chains: usize, samples: &[usize]) -> Vec<usize> {
+fn allocate_chains(n_chains: usize, samples: &[usize], rho: &[usize]) -> Vec<usize> {
     let n_levels = samples.len();
     assert!(n_chains >= n_levels);
     let weights: Vec<f64> = (0..n_levels)
         .map(|l| {
             let own = samples[l] as f64;
             let serving = if l + 1 < n_levels {
-                (RHO[l].max(1) * samples[l + 1]) as f64
+                (rho[l].max(1) * samples[l + 1]) as f64
             } else {
                 0.0
             };
@@ -153,24 +162,36 @@ struct SweepPoint {
     wakeups: usize,
     dropped_sends: usize,
     reassignments: usize,
+    /// Rewind-ledger serves routed through the phonebook.
+    ledger_serves: usize,
+    /// Fraction of serves that ran the separate pairing leg.
+    diverged_frac: f64,
+    /// Runnable ranks stolen by idle workers.
+    steals: usize,
 }
 
 /// Single-threaded calibration of one level's evaluation cost (seconds).
 /// The in-run `EvalCounter` means cannot be used for the DES input: with
 /// more worker threads than cores they are inflated by preemption.
-fn calibrate_eval_secs(h: &SpinHierarchy, level: usize) -> f64 {
+/// Adaptive repetition count so expensive models (the SWE hierarchy)
+/// calibrate in bounded time.
+fn calibrate_eval_secs(h: &dyn LevelFactory, level: usize, theta_dim: usize) -> f64 {
     let mut p = h.problem(level);
-    let reps = 2000;
+    let budget = 0.4f64;
     let t = Instant::now();
-    for i in 0..reps {
-        std::hint::black_box(p.log_density(&[i as f64 * 1e-4]));
+    let mut reps = 0u32;
+    while reps < 2000 && (reps < 8 || t.elapsed().as_secs_f64() < budget) {
+        let theta = vec![f64::from(reps) * 1e-4; theta_dim];
+        std::hint::black_box(p.log_density(&theta));
+        reps += 1;
     }
     (t.elapsed().as_secs_f64() / f64::from(reps)).max(1e-9)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_sweep_point(
-    h: &SpinHierarchy,
+    h: &dyn LevelFactory,
+    rho: &[usize],
     eval_time: &[f64],
     ranks: usize,
     workers: usize,
@@ -181,7 +202,7 @@ fn run_sweep_point(
     seed: u64,
 ) -> (RuntimeReport, SweepPoint) {
     let overhead = 2 + samples.len() * shards;
-    let chains = allocate_chains(ranks - overhead, samples);
+    let chains = allocate_chains(ranks - overhead, samples, rho);
     let mut config = RuntimeConfig::new(samples.to_vec(), chains.clone());
     config.base.burn_in = burn_in.to_vec();
     config.base.seed = seed;
@@ -190,19 +211,22 @@ fn run_sweep_point(
     assert_eq!(config.n_ranks(), ranks, "rank budget mismatch");
     let r = run_runtime(h, &config, &Tracer::disabled());
     // DES replay of the identical schedule, driven by the calibrated
-    // per-level evaluation times
+    // per-level evaluation times and the live run's measured ledger
+    // divergence (each diverged serve costs the server a second ρ-leg)
     let des = simulate(&DesConfig {
         eval_time: eval_time.to_vec(),
         eval_jitter: 0.0,
         samples_per_level: samples.to_vec(),
         burn_in: burn_in.to_vec(),
-        subsampling: RHO.to_vec(),
+        subsampling: rho.to_vec(),
         chains_per_level: chains.clone(),
         group_size: 1,
         phonebook_service_time: 0.0,
         collector_service_time: 0.0,
         load_balancing: true,
         seed,
+        ledger: true,
+        ledger_pairing_overhead: r.phonebook.ledger.diverged_fraction(),
     });
     let n_chains: usize = chains.iter().sum();
     let des_busy = des.busy_fraction * des.makespan * n_chains as f64;
@@ -223,13 +247,176 @@ fn run_sweep_point(
         wakeups: r.runtime.wakeups,
         dropped_sends: r.runtime.dropped_sends,
         reassignments: r.report.reassignments,
+        ledger_serves: r.phonebook.ledger.serves,
+        diverged_frac: r.phonebook.ledger.diverged_fraction(),
+        steals: r.runtime.steals,
     };
     (r, point)
+}
+
+/// The `--model swe` study (PR 4): the runtime scaling sweep driven by
+/// the real `uq-swe` Tohoku hierarchy instead of the synthetic-cost
+/// Gaussian — per-requester ledger serving and work stealing measured
+/// against genuinely heterogeneous forward-model costs. Writes
+/// `results/BENCH_PR4.json`.
+#[allow(clippy::too_many_lines)]
+fn swe_study(args: &ExpArgs) {
+    use uq_swe::tohoku::{Resolution, TsunamiHierarchy};
+    let workers = 8usize;
+    let resolution = if args.paper {
+        Resolution::Reduced
+    } else {
+        Resolution::Custom([9, 13, 17])
+    };
+    let h = TsunamiHierarchy::new(resolution);
+    let rho: Vec<usize> = (0..3).map(|l| h.subsampling_rate(l)).collect();
+    let samples = if args.paper {
+        vec![2_000usize, 400, 60]
+    } else {
+        vec![240usize, 48, 10]
+    };
+    let burn_in = vec![20usize, 10, 5];
+    let shards = 2usize;
+    let ranks_list = if args.paper {
+        vec![32usize, 64, 128]
+    } else {
+        vec![16usize, 32]
+    };
+    let effective_cores = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(workers);
+
+    println!("scaling_live --model swe — Tohoku hierarchy on the cooperative runtime (PR 4)\n");
+    let eval_time: Vec<f64> = (0..3).map(|l| calibrate_eval_secs(&h, l, 2)).collect();
+    eprintln!(
+        "  calibrated eval cost per level: {:?} ms",
+        eval_time
+            .iter()
+            .map(|s| (s * 1e5).round() / 1e2)
+            .collect::<Vec<_>>()
+    );
+    let mut points: Vec<(SweepPoint, Vec<f64>)> = Vec::new();
+    for &ranks in &ranks_list {
+        let t0 = Instant::now();
+        let (r, point) = run_sweep_point(
+            &h,
+            &rho,
+            &eval_time,
+            ranks,
+            workers,
+            effective_cores,
+            shards,
+            &samples,
+            &burn_in,
+            args.seed,
+        );
+        eprintln!(
+            "  ranks {ranks:>4}: {:.2}s live ({:.2}s wall), {} ledger serves \
+             ({:.0}% diverged), {} steals",
+            point.elapsed,
+            t0.elapsed().as_secs_f64(),
+            point.ledger_serves,
+            point.diverged_frac * 100.0,
+            point.steals
+        );
+        // the exact per-level targets must be hit and the posterior mean
+        // of the source location must stay in the physical domain
+        for (level, &n) in samples.iter().enumerate() {
+            assert_eq!(r.report.levels[level].n_samples, n, "level {level}");
+        }
+        let est = r.report.expectation();
+        assert!(
+            est.iter().all(|e| e.is_finite() && e.abs() < 120_000.0),
+            "posterior-mean source location left the domain: {est:?}"
+        );
+        points.push((point, est));
+    }
+
+    let mut rows = Vec::new();
+    for (p, est) in &points {
+        rows.push(vec![
+            p.ranks.to_string(),
+            format!("{:?}", p.chains),
+            format!("{:.2}", p.elapsed),
+            format!("{:.1}", p.throughput),
+            format!("{:.2}", p.pred_elapsed),
+            format!("{:.2}", p.elapsed / p.pred_elapsed),
+            p.ledger_serves.to_string(),
+            format!("{:.2}", p.diverged_frac),
+            p.steals.to_string(),
+            format!("({:.0}, {:.0})", est[0], est[1]),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "ranks",
+                "chains/level",
+                "time[s]",
+                "samples/s",
+                "DES pred[s]",
+                "overhead",
+                "serves",
+                "diverged",
+                "steals",
+                "E[source m]"
+            ],
+            &rows
+        )
+    );
+
+    let mut json = String::from("{\n  \"pr\": 4,\n  \"model\": \"swe\",\n");
+    writeln!(json, "  \"resolution\": {:?},", resolution.cells(2)).unwrap();
+    writeln!(json, "  \"workers\": {workers},").unwrap();
+    writeln!(json, "  \"effective_cores\": {effective_cores},").unwrap();
+    writeln!(json, "  \"collector_shards\": {shards},").unwrap();
+    writeln!(
+        json,
+        "  \"eval_time_ms\": {:?},",
+        eval_time.iter().map(|s| s * 1e3).collect::<Vec<_>>()
+    )
+    .unwrap();
+    json.push_str("  \"sweep\": [\n");
+    for (i, (p, est)) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{ \"ranks\": {}, \"chains\": {:?}, \"elapsed_s\": {:.3}, \
+             \"throughput_samples_per_s\": {:.2}, \"des_pred_elapsed_s\": {:.3}, \
+             \"overhead_ratio\": {:.3}, \"evals_per_level\": {:?}, \
+             \"des_evals_per_level\": {:?}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
+             \"steals\": {}, \"mean_batch\": {:.2}, \"estimate\": [{:.3}, {:.3}] }}{comma}",
+            p.ranks,
+            p.chains,
+            p.elapsed,
+            p.throughput,
+            p.pred_elapsed,
+            p.elapsed / p.pred_elapsed,
+            p.evals,
+            p.des_evals,
+            p.ledger_serves,
+            p.diverged_frac,
+            p.steals,
+            p.mean_batch,
+            est[0],
+            est[1]
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    write_output(&args.out_dir, "BENCH_PR4.json", &json);
+    println!("\nscaling_live --model swe: all checks passed");
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args = ExpArgs::parse();
+    if args.model == "swe" {
+        swe_study(&args);
+        return;
+    }
+    assert_eq!(args.model, "gauss", "--model must be gauss or swe");
     let workers = 8usize;
 
     // ---------------- 1. validation ----------------
@@ -350,7 +537,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join("/")
     );
-    let eval_time: Vec<f64> = (0..3).map(|l| calibrate_eval_secs(&h, l)).collect();
+    let eval_time: Vec<f64> = (0..3).map(|l| calibrate_eval_secs(&h, l, 1)).collect();
     eprintln!(
         "  calibrated eval cost per level: {:?} µs",
         eval_time
@@ -363,6 +550,7 @@ fn main() {
         let t0 = Instant::now();
         let (_r, point) = run_sweep_point(
             &h,
+            &RHO,
             &eval_time,
             ranks,
             workers,
@@ -394,6 +582,9 @@ fn main() {
             format!("{:.1}", p.mean_batch),
             p.max_batch.to_string(),
             p.reassignments.to_string(),
+            p.ledger_serves.to_string(),
+            format!("{:.2}", p.diverged_frac),
+            p.steals.to_string(),
         ]);
         csv.push(vec![
             p.ranks as f64,
@@ -409,6 +600,9 @@ fn main() {
             p.wakeups as f64,
             p.dropped_sends as f64,
             p.reassignments as f64,
+            p.ledger_serves as f64,
+            p.diverged_frac,
+            p.steals as f64,
         ]);
     }
     println!(
@@ -424,7 +618,10 @@ fn main() {
                 "DES 1-rank-per-cpu[s]",
                 "mean batch",
                 "max batch",
-                "reassigned"
+                "reassigned",
+                "serves",
+                "diverged",
+                "steals"
             ],
             &rows
         )
@@ -439,7 +636,8 @@ fn main() {
         "scaling_live.csv",
         &to_csv(
             "ranks,elapsed_s,throughput,des_pred_elapsed_s,overhead_ratio,des_makespan_s,\
-             des_busy_s,mean_batch,max_batch,polls,wakeups,dropped_sends,reassignments",
+             des_busy_s,mean_batch,max_batch,polls,wakeups,dropped_sends,reassignments,\
+             ledger_serves,diverged_frac,steals",
             &csv,
         ),
     );
@@ -515,7 +713,8 @@ fn main() {
              \"overhead_ratio\": {:.3}, \"des_makespan_s\": {:.3}, \"des_busy_s\": {:.3}, \
              \"evals_per_level\": {:?}, \"des_evals_per_level\": {:?}, \"mean_batch\": {:.2}, \
              \"max_batch\": {}, \"polls\": {}, \"wakeups\": {}, \"dropped_sends\": {}, \
-             \"reassignments\": {} }}{comma}",
+             \"reassignments\": {}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
+             \"steals\": {} }}{comma}",
             p.ranks,
             p.chains,
             p.elapsed,
@@ -531,7 +730,10 @@ fn main() {
             p.polls,
             p.wakeups,
             p.dropped_sends,
-            p.reassignments
+            p.reassignments,
+            p.ledger_serves,
+            p.diverged_frac,
+            p.steals
         )
         .unwrap();
     }

@@ -23,16 +23,20 @@ pub struct ExpArgs {
     pub out_dir: PathBuf,
     /// RNG seed.
     pub seed: u64,
+    /// Model selector for experiments that drive more than one forward
+    /// model (e.g. `scaling_live`: `gauss` (default) or `swe`).
+    pub model: String,
 }
 
 impl ExpArgs {
     /// Parse from `std::env::args`. Recognizes `--paper`,
-    /// `--out <dir>`, `--seed <n>`.
+    /// `--out <dir>`, `--seed <n>`, `--model <name>`.
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             paper: false,
             out_dir: PathBuf::from("results"),
             seed: 20210730,
+            model: String::from("gauss"),
         };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
@@ -48,7 +52,12 @@ impl ExpArgs {
                         .parse()
                         .expect("--seed must be an integer");
                 }
-                other => panic!("unknown argument: {other} (expected --paper/--out/--seed)"),
+                "--model" => {
+                    args.model = iter.next().expect("--model needs a value");
+                }
+                other => {
+                    panic!("unknown argument: {other} (expected --paper/--out/--seed/--model)")
+                }
             }
         }
         args

@@ -17,16 +17,18 @@
 //! coarse steps) *started from the coarse state associated with the
 //! current fine state*: by reversibility of the coarse kernel,
 //! `K^ρ(θ_C → θ'_C) ν_{l-1}(θ_C) = K^ρ(θ'_C → θ_C) ν_{l-1}(θ'_C)`, so the
-//! `K^ρ` densities cancel into the coarse density ratio. The sequential
-//! source therefore **rewinds** the coarse chain to the fine chain's
-//! anchor before generating each proposal — letting the coarse chain run
-//! on from a rejected proposal (the naive reading of Algorithm 2) leaves
-//! a bias towards the coarse posterior, which our estimator tests
-//! detected. Anchors are recursive: a coupled coarse chain carries its
-//! own anchor, shipped inside [`CoarseSample::sub_anchor`]. The parallel
-//! scheduler's remote source instead serves from independent,
-//! long-running chains whose states decorrelate between requests (the
-//! independence-proposal limit where no rewind is needed).
+//! `K^ρ` densities cancel into the coarse density ratio. Every serve
+//! therefore **rewinds** the coarse chain to the requester's anchor
+//! before generating the proposal — letting the coarse chain run on from
+//! a rejected proposal (the naive reading of Algorithm 2) leaves a bias
+//! towards the coarse posterior, which our estimator tests detected.
+//! Anchors are recursive: a coupled coarse chain carries its own anchor,
+//! shipped inside [`CoarseSample::sub_anchor`]. Serving — sequential and
+//! parallel alike — goes through the per-requester rewind ledger
+//! ([`crate::ledger`]), which alongside each proposal also maintains the
+//! requester's autonomous *pairing track* (continued from the last
+//! served sample, marginal exactly `π_{l-1}`), piggybacked on
+//! [`CoarseSample::mate`] for the unbiased estimator pairing.
 
 use crate::factory::LevelFactory;
 use rand::Rng;
@@ -44,6 +46,25 @@ pub struct CoarseSample {
     /// The serving chain's own coarse anchor at this state (`None` for
     /// level-0 chains and for remote/parallel sources).
     pub sub_anchor: Option<Box<CoarseSample>>,
+    /// The ledger's pairing mate served alongside this proposal (`None`
+    /// for sources without a ledger session): the state of the
+    /// requester's autonomous coarse subchain, whose marginal is exactly
+    /// `π_{l-1}` — see [`crate::ledger`]. Consumed by
+    /// [`MlChain::resume_step`] into [`MlChain::last_pairing`].
+    pub mate: Option<Box<CoarseSample>>,
+}
+
+impl CoarseSample {
+    /// A sample carrying only cached values (no sub-anchor, no mate).
+    pub fn plain(theta: Vec<f64>, log_density: f64, qoi: Vec<f64>) -> Self {
+        Self {
+            theta,
+            log_density,
+            qoi,
+            sub_anchor: None,
+            mate: None,
+        }
+    }
 }
 
 /// Outcome of a (possibly non-blocking) coarse-proposal acquisition.
@@ -106,6 +127,9 @@ pub enum StepOutcome {
     NeedCoarse,
 }
 
+// one `Kind` exists per chain (not per sample), so the size gap between
+// the base and coupled variants costs nothing worth boxing for
+#[allow(clippy::large_enum_variant)]
 enum Kind {
     /// Level 0: a standard Metropolis–Hastings chain.
     Base { proposal: Box<dyn Proposal> },
@@ -122,6 +146,9 @@ enum Kind {
         /// The coarse sample used in the most recent step (accepted or
         /// not) — the `Q_{l-1}` half of the correction pair.
         last_coarse: Option<CoarseSample>,
+        /// The ledger pairing mate of the most recent step (falls back
+        /// to the proposal itself for sources without a ledger).
+        last_pairing: Option<CoarseSample>,
     },
 }
 
@@ -181,6 +208,7 @@ impl MlChain {
                 coarse_dim,
                 anchor,
                 last_coarse: None,
+                last_pairing: None,
             },
             state,
             steps: 0,
@@ -233,6 +261,20 @@ impl MlChain {
         }
     }
 
+    /// The ledger pairing mate of the most recent coupled step: the
+    /// requester's autonomous coarse-subchain state served alongside the
+    /// proposal (marginal exactly `π_{l-1}`; see [`crate::ledger`]).
+    /// Equals [`last_coarse`](Self::last_coarse) for sources without a
+    /// ledger session; `None` for level-0 chains or before the first
+    /// step. This is the `Q_{l-1}` half of the correction pair under
+    /// [`PairingMode::Ledger`](crate::ledger::PairingMode::Ledger).
+    pub fn last_pairing(&self) -> Option<&CoarseSample> {
+        match &self.kind {
+            Kind::Base { .. } => None,
+            Kind::Coupled { last_pairing, .. } => last_pairing.as_ref(),
+        }
+    }
+
     /// Evaluate this chain's target log-density at an arbitrary point.
     pub fn eval_log_density(&mut self, theta: &[f64]) -> f64 {
         self.problem.log_density(theta)
@@ -254,6 +296,7 @@ impl MlChain {
             log_density,
             qoi,
             sub_anchor,
+            mate: None,
         }
     }
 
@@ -269,28 +312,34 @@ impl MlChain {
             log_density: self.state.log_density,
             qoi: self.state.qoi.clone(),
             sub_anchor,
+            mate: None,
         }
     }
 
     /// Rewind this chain to a previously served sample (the exactness
-    /// rule — see the module docs). No model evaluations are performed;
-    /// everything needed is cached inside the sample.
-    ///
-    /// # Panics
-    /// Panics if a coupled chain is restored from a sample without a
-    /// sub-anchor.
+    /// rule — see the module docs). Everything needed is cached inside
+    /// the sample; the one exception is a coupled chain restored from a
+    /// sample *without* a sub-anchor (a parallel requester's initial
+    /// anchor, which no serving stack ever saw): the sub-anchor is then
+    /// derived through the source's `anchor_at`, costing one coarse-level
+    /// density evaluation.
     pub fn restore(&mut self, sample: &CoarseSample) {
         self.state = SamplingState {
             theta: sample.theta.clone(),
             log_density: sample.log_density,
             qoi: sample.qoi.clone(),
         };
-        if let Kind::Coupled { anchor, .. } = &mut self.kind {
-            *anchor = *sample
-                .sub_anchor
-                .as_ref()
-                .expect("restore: coupled chain needs a sub-anchor")
-                .clone();
+        if let Kind::Coupled {
+            anchor,
+            source,
+            coarse_dim,
+            ..
+        } = &mut self.kind
+        {
+            *anchor = match &sample.sub_anchor {
+                Some(sub) => (**sub).clone(),
+                None => source.anchor_at(&sample.theta[..*coarse_dim]),
+            };
         }
     }
 
@@ -342,8 +391,9 @@ impl MlChain {
     ///
     /// # Panics
     /// Panics on a level-0 chain.
-    pub fn resume_step(&mut self, rng: &mut dyn Rng, coarse: CoarseSample) -> bool {
+    pub fn resume_step(&mut self, rng: &mut dyn Rng, mut coarse: CoarseSample) -> bool {
         self.steps += 1;
+        let mate = coarse.mate.take().map(|m| *m);
         let accepted = match &mut self.kind {
             Kind::Base { .. } => panic!("MlChain::resume_step: level-0 chains never suspend"),
             Kind::Coupled {
@@ -351,6 +401,7 @@ impl MlChain {
                 coarse_dim,
                 anchor,
                 last_coarse,
+                last_pairing,
                 ..
             } => {
                 if coarse.theta.len() != *coarse_dim {
@@ -401,6 +452,7 @@ impl MlChain {
                         accept
                     }
                 };
+                *last_pairing = Some(mate.unwrap_or_else(|| coarse.clone()));
                 *last_coarse = Some(coarse);
                 accepted
             }
@@ -411,37 +463,80 @@ impl MlChain {
 }
 
 /// Sequential coarse-proposal source: owns the next-coarser [`MlChain`]
-/// (itself possibly coupled, recursively down to level 0), rewinds it to
-/// the requester's anchor and subsamples it at rate `rho`.
+/// (itself possibly coupled, recursively down to level 0) and serves it
+/// through a single-requester ledger session (see [`crate::ledger`]):
+/// the proposal track rewinds to the requester's anchor (the exactness
+/// rule) and the pairing track continues from the last served sample
+/// (the unbiased correction mate), both advanced `rho` steps per serve
+/// by the session's own derived random substreams.
 pub struct ChainCoarseSource {
     chain: MlChain,
     rho: usize,
+    /// Lazily derived on the first serve from the caller's RNG (one
+    /// `next_u64` draw), so different user seeds give independent serve
+    /// substreams; [`with_session_seed`](Self::with_session_seed) pins
+    /// it instead (then nothing is drawn from the caller).
+    session_seed: Option<u64>,
+    serves: u64,
+    pairing: Option<CoarseSample>,
+    diverged_serves: u64,
 }
 
 impl ChainCoarseSource {
     /// `rho` is clamped to at least 1 (every fine proposal advances the
-    /// coarse chain at least one step).
+    /// coarse chain at least one step). The ledger session seed is drawn
+    /// from the caller's RNG at the first serve; use
+    /// [`with_session_seed`](Self::with_session_seed) to pin it (e.g. to
+    /// reproduce a parallel backend's session bit-for-bit).
     pub fn new(chain: MlChain, rho: usize) -> Self {
         Self {
             chain,
             rho: rho.max(1),
+            session_seed: None,
+            serves: 0,
+            pairing: None,
+            diverged_serves: 0,
         }
+    }
+
+    /// Pin the ledger session seed (see [`crate::ledger::session_seed`]).
+    pub fn with_session_seed(mut self, session_seed: u64) -> Self {
+        self.session_seed = Some(session_seed);
+        self
     }
 
     pub fn chain(&self) -> &MlChain {
         &self.chain
     }
+
+    /// Serves executed and how many of them ran a separate pairing leg.
+    pub fn ledger_counts(&self) -> (u64, u64) {
+        (self.serves, self.diverged_serves)
+    }
 }
 
 impl CoarseProposalSource for ChainCoarseSource {
+    // The caller's RNG seeds the session once (first serve) and is
+    // otherwise unused: serve randomness comes from per-serve substreams
+    // of the session seed, so serves are pure functions of the session
+    // state and reproduce identically across backends (the parity suite
+    // relies on this).
     fn request_coarse(&mut self, rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseAcquire {
-        // the exactness rewind: restart the coarse chain from the coarse
-        // state associated with the requester's current state
-        self.chain.restore(anchor);
-        for _ in 0..self.rho {
-            self.chain.step(rng);
-        }
-        CoarseAcquire::Ready(self.chain.current_as_sample())
+        let level = self.chain.level();
+        let session_seed = *self
+            .session_seed
+            .get_or_insert_with(|| crate::ledger::session_seed(rng.next_u64(), level, 0));
+        let lease = crate::ledger::LedgerLease {
+            session_seed,
+            serves: self.serves,
+            pairing: self.pairing.take(),
+            anchor: anchor.clone(),
+        };
+        let out = crate::ledger::serve(&mut self.chain, self.rho, &lease);
+        self.serves += 1;
+        self.diverged_serves += u64::from(out.diverged);
+        self.pairing = Some(out.pairing);
+        CoarseAcquire::Ready(out.proposal)
     }
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
@@ -473,12 +568,11 @@ impl CoarseProposalSource for PendingCoarseSource {
     }
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
-        CoarseSample {
-            theta: theta.to_vec(),
-            log_density: self.coarse_problem.log_density(theta),
-            qoi: self.coarse_problem.qoi(theta),
-            sub_anchor: None,
-        }
+        CoarseSample::plain(
+            theta.to_vec(),
+            self.coarse_problem.log_density(theta),
+            self.coarse_problem.qoi(theta),
+        )
     }
 }
 
@@ -813,13 +907,14 @@ mod tests {
         };
         let mut blocking = mk(false);
         let mut suspending = mk(true);
-        // fulfillment helper: an identical coarse stack advanced with an
-        // identical RNG stream, rewound to the suspended chain's anchor
+        // fulfillment helper: an identical coarse source (same default
+        // ledger session seed, so serve k produces identical samples),
+        // rewound to the suspended chain's anchor
         let mut helper = ChainCoarseSource::new(base_gaussian_chain(0.5, 0.8, 1), 3);
         let mut rng_a = StdRng::seed_from_u64(42);
-        // the blocking path draws coarse-advance and acceptance variates
-        // from ONE stream; fulfilling with the same rng as the resume
-        // reproduces that exact interleaving
+        // coarse serves draw from the session's own substreams, so the
+        // caller streams only drive tail/acceptance variates — consuming
+        // them identically on both paths keeps the trajectories aligned
         let mut rng_b = StdRng::seed_from_u64(42);
         for _ in 0..200 {
             let a = blocking.step(&mut rng_a);
@@ -851,12 +946,7 @@ mod tests {
         let before = fine.state().theta.clone();
         assert!(!fine.resume_step(
             &mut rng,
-            super::CoarseSample {
-                theta: Vec::new(),
-                log_density: f64::NEG_INFINITY,
-                qoi: Vec::new(),
-                sub_anchor: None,
-            }
+            super::CoarseSample::plain(Vec::new(), f64::NEG_INFINITY, Vec::new())
         ));
         assert_eq!(fine.state().theta, before);
         assert_eq!(fine.steps(), 1);

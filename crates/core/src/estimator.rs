@@ -8,21 +8,26 @@
 //! correction variances, integrated autocorrelation times, acceptance
 //! rates, evaluation counts and mean evaluation cost.
 //!
-//! **Estimator pairing and finite-`ρ` bias.** Each correction sample is
-//! `Q_l(θ_l) − Q_{l-1}(ψ)` with `ψ` the coarse proposal served for that
-//! step ([`MlChain::last_coarse`]) — the coarse *anchor* cannot be used
-//! because an accepted fine state equals its anchor whenever the levels
-//! share a parameter space, degenerating the correction to zero. With
-//! the sequential source's exactness rewind the fine marginal is exact
-//! but the served-coarse marginal is `π_l K_{l-1}^ρ` rather than
-//! `π_{l-1}`, leaving an `O(contraction^ρ)` bias in the correction term
-//! that vanishes as the subsampling rate `ρ` grows (the parallel
-//! scheduler's long-running servers approach the unbiased independence
-//! limit). See DESIGN.md § "Estimator pairing" for the full discussion.
+//! **Estimator pairing.** Each correction sample is
+//! `Q_l(θ_l) − Q_{l-1}(ψ)`; which stream supplies `ψ` is selected by
+//! [`PairingMode`]. Under the default [`PairingMode::Proposal`], `ψ` is
+//! the coarse proposal served for that step ([`MlChain::last_coarse`]) —
+//! tightly coupled to the fine state (small correction variance) but
+//! with marginal `π_l K_{l-1}^ρ` rather than `π_{l-1}`, an
+//! `O(contraction^ρ)` bias that vanishes as the subsampling rate `ρ`
+//! grows. Under [`PairingMode::Ledger`], `ψ` is the rewind ledger's
+//! pairing mate ([`MlChain::last_pairing`]): the requester's autonomous
+//! coarse subchain with marginal exactly `π_{l-1}` — unbiased for every
+//! `ρ`, at the price of a looser coupling once the tracks diverge. The
+//! coarse *anchor* cannot be used either way because an accepted fine
+//! state equals its anchor whenever the levels share a parameter space,
+//! degenerating the correction to zero. See DESIGN.md §5 for the full
+//! discussion and measured trade-off.
 
 use crate::counting::{CountingProblem, EvalCounter};
 use crate::coupled::{build_chain_stack, MlChain};
 use crate::factory::LevelFactory;
+use crate::ledger::PairingMode;
 use rand::Rng;
 use uq_mcmc::stats::{integrated_autocorrelation_time, VectorMoments};
 use uq_mcmc::{Proposal, SamplingProblem};
@@ -42,6 +47,10 @@ pub struct MlmcmcConfig {
     /// correction pairs) for figure generation. Off by default — the
     /// moments are accumulated streaming either way.
     pub record_samples: bool,
+    /// Which coarse stream the correction moments pair against (the
+    /// recorded `correction_pairs` always show the proposal coupling —
+    /// they feed the Fig. 14-style coupling plots).
+    pub pairing: PairingMode,
 }
 
 impl MlmcmcConfig {
@@ -52,6 +61,7 @@ impl MlmcmcConfig {
             burn_in: vec![0; n],
             representative_component: 0,
             record_samples: false,
+            pairing: PairingMode::default(),
         }
     }
 
@@ -63,6 +73,12 @@ impl MlmcmcConfig {
 
     pub fn recording(mut self) -> Self {
         self.record_samples = true;
+        self
+    }
+
+    /// Pair correction moments with the ledger's unbiased mate stream.
+    pub fn with_pairing(mut self, pairing: PairingMode) -> Self {
+        self.pairing = pairing;
         self
     }
 }
@@ -194,7 +210,11 @@ fn run_term(
     for _ in 0..n_samples {
         chain.step(rng);
         let fine_qoi = chain.state().qoi.clone();
-        let correction: Vec<f64> = match chain.last_coarse() {
+        let paired = match config.pairing {
+            PairingMode::Proposal => chain.last_coarse(),
+            PairingMode::Ledger => chain.last_pairing(),
+        };
+        let correction: Vec<f64> = match paired {
             None => fine_qoi.clone(),
             Some(coarse) => fine_qoi
                 .iter()

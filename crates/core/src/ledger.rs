@@ -1,0 +1,330 @@
+//! The per-requester **rewind ledger**: exact multilevel coupling state.
+//!
+//! ## Why a ledger
+//!
+//! The coupled kernel (paper Algorithm 2) is only exact if each fine
+//! chain's coarse proposals are drawn from the coarse kernel `K_{l-1}^ρ`
+//! **started at the coarse state paired with the requester's current fine
+//! state** (the *anchor*) — by reversibility the `K^ρ` proposal densities
+//! then cancel into the coarse density ratio. The telescoping estimator,
+//! on the other hand, needs a coarse stream whose marginal is exactly
+//! `π_{l-1}` to pair against: an autonomous subchain **continued from the
+//! last sample served to that requester**, never rewound. No single
+//! stream can satisfy both at once — rewinding to the anchor gives the
+//! served stream the marginal `π_l K^ρ`, while continuing from the last
+//! served sample makes the acceptance ratio inexact after a rejection
+//! (both effects are `O(contraction^ρ)`; DESIGN.md §5 derives them).
+//!
+//! The ledger therefore maintains, per requester, a **session** with two
+//! coupled tracks:
+//!
+//! * the **proposal track** rewinds the serving chain to the requester's
+//!   anchor and advances `ρ` steps — the Algorithm-2 proposal, keeping
+//!   the fine marginal exact for every `ρ`;
+//! * the **pairing track** continues from the session's last pairing
+//!   state (initially the requester's starting anchor) and advances `ρ`
+//!   steps with the same driving randomness — an autonomous `K^ρ`
+//!   subchain whose marginal is exactly `π_{l-1}`, the correction mate
+//!   the estimator pairs against under [`PairingMode::Ledger`].
+//!
+//! While the requester keeps accepting, anchor and pairing state are
+//! bit-identical and one `ρ`-step run serves both tracks; after the
+//! first rejection they diverge and the pairing leg runs separately,
+//! driven by the *same* per-serve random substream (common random
+//! numbers), which keeps the mate tightly correlated with the proposal
+//! without ever feeding fine-chain acceptances back into the pairing
+//! track (that feedback is exactly what would bias it).
+//!
+//! ## Determinism and migration
+//!
+//! A session is identified by a seed; the randomness of serve `k` is a
+//! substream derived from `(session_seed, k)`, **not** from any caller
+//! RNG or server-resident state. A serve is therefore a pure function of
+//! `(lease, serving problem)`: any server can execute any session's next
+//! serve from a [`LedgerLease`], sessions migrate between servers as
+//! plain data, and the sequential backend reproduces a runtime
+//! controller's serves bit-for-bit (pinned by the parity suite in
+//! `tests/ledger_exactness.rs`).
+
+use crate::coupled::{CoarseSample, MlChain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which coarse stream the telescoping estimator pairs corrections with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PairingMode {
+    /// Pair with the served proposal (`MlChain::last_coarse`). This is
+    /// the historical pairing: lowest correction variance (the proposal
+    /// couples tightly to the fine state) but an `O(contraction^ρ)` bias
+    /// in the correction mean — the served-proposal marginal is
+    /// `π_l K^ρ`, not `π_{l-1}`.
+    #[default]
+    Proposal,
+    /// Pair with the ledger's pairing mate (`MlChain::last_pairing`):
+    /// the autonomous per-requester subchain with marginal exactly
+    /// `π_{l-1}`, making the correction mean unbiased for every `ρ`. The
+    /// mate decouples from the fine state after rejections, so the
+    /// correction variance is higher than [`PairingMode::Proposal`]'s —
+    /// the measured trade-off is documented in DESIGN.md §5.
+    Ledger,
+}
+
+/// Mix function (splitmix64 finalizer) used for all ledger seed
+/// derivations.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of a requester's session stream: every backend derives it the
+/// same way so ledgers are comparable across backends.
+pub fn session_seed(base: u64, coarse_level: usize, requester: u64) -> u64 {
+    mix(base
+        .wrapping_add(mix(coarse_level as u64 ^ 0x1EDA_6E55))
+        .wrapping_add(mix(requester ^ 0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Seed of serve `serve_index`'s driving substream. Both tracks of a
+/// diverged serve reuse the same substream (common random numbers), so
+/// the mate stays coupled to the proposal without acceptance feedback.
+pub fn leg_seed(session_seed: u64, serve_index: u64) -> u64 {
+    mix(session_seed ^ serve_index.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Everything a (stateless) server needs to execute one serve of a
+/// session: the requester's current anchor, the session's pairing state
+/// and stream position. Sessions are plain data — the ledger can live at
+/// the phonebook and leases travel in messages.
+#[derive(Clone, Debug)]
+pub struct LedgerLease {
+    /// Session stream identity (see [`session_seed`]).
+    pub session_seed: u64,
+    /// Serves completed so far (the stream position).
+    pub serves: u64,
+    /// The pairing track's current state — `None` before the first serve
+    /// (the track then starts merged at the requester's anchor).
+    pub pairing: Option<CoarseSample>,
+    /// The coarse state paired with the requester's current fine state.
+    pub anchor: CoarseSample,
+}
+
+impl LedgerLease {
+    /// A fresh session lease for `anchor`.
+    pub fn fresh(session_seed: u64, anchor: CoarseSample) -> Self {
+        Self {
+            session_seed,
+            serves: 0,
+            pairing: None,
+            anchor,
+        }
+    }
+
+    /// Whether the pairing track currently coincides with the anchor
+    /// (one `ρ`-step run then serves both tracks).
+    pub fn merged(&self) -> bool {
+        match &self.pairing {
+            None => true,
+            Some(p) => p.theta == self.anchor.theta,
+        }
+    }
+}
+
+/// One executed serve: the Algorithm-2 proposal (with the pairing mate
+/// piggybacked in [`CoarseSample::mate`]), the session's advanced pairing
+/// state, and whether the tracks were diverged.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// The proposal to fulfill the requester's step with; its `mate`
+    /// field carries the pairing state served alongside.
+    pub proposal: CoarseSample,
+    /// The pairing track's new state (becomes the session's `pairing`).
+    pub pairing: CoarseSample,
+    /// The pairing leg ran separately from the proposal leg.
+    pub diverged: bool,
+}
+
+/// Execute one ledger serve on `chain` (the serving chain for the
+/// lease's coarse level), advancing `rho` kernel steps per track.
+///
+/// The chain is left at the end of the last leg run — callers whose
+/// chain has its own trajectory (parallel serving controllers) snapshot
+/// with [`MlChain::current_as_sample`] before and
+/// [`MlChain::restore`] after; the sequential source's chain exists only
+/// to serve, so it skips that. Only the kernel is re-evaluated: restores
+/// use the cached densities/QOIs inside the lease samples, never the
+/// forward model.
+pub fn serve(chain: &mut MlChain, rho: usize, lease: &LedgerLease) -> ServeOutcome {
+    let rho = rho.max(1);
+    let merged = lease.merged();
+    // proposal track: the exactness rewind to the requester's anchor
+    let mut rng = StdRng::seed_from_u64(leg_seed(lease.session_seed, lease.serves));
+    chain.restore(&lease.anchor);
+    for _ in 0..rho {
+        chain.step(&mut rng);
+    }
+    let mut proposal = chain.current_as_sample();
+    // pairing track: continue the autonomous subchain from the last
+    // pairing state, re-using the same substream (common random numbers)
+    let pairing = if merged {
+        proposal.clone()
+    } else {
+        let mut rng = StdRng::seed_from_u64(leg_seed(lease.session_seed, lease.serves));
+        chain.restore(lease.pairing.as_ref().expect("diverged lease has pairing"));
+        for _ in 0..rho {
+            chain.step(&mut rng);
+        }
+        chain.current_as_sample()
+    };
+    proposal.mate = Some(Box::new(pairing.clone()));
+    ServeOutcome {
+        proposal,
+        pairing,
+        diverged: !merged,
+    }
+}
+
+/// Aggregate ledger statistics (kept by the phonebooks, reported with
+/// the run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LedgerStats {
+    /// Sessions opened (one per requester/coarse-level pair).
+    pub sessions: usize,
+    /// Serves executed through the ledger.
+    pub serves: usize,
+    /// Serves whose pairing track had diverged from the anchor (each
+    /// costs a second `ρ`-step leg on the server).
+    pub diverged: usize,
+}
+
+impl LedgerStats {
+    /// Fraction of serves that needed the separate pairing leg.
+    pub fn diverged_fraction(&self) -> f64 {
+        if self.serves == 0 {
+            0.0
+        } else {
+            self.diverged as f64 / self.serves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupled::MlChain;
+    use uq_mcmc::problem::GaussianTarget;
+    use uq_mcmc::proposal::GaussianRandomWalk;
+
+    fn base_chain(mean: f64, sd: f64) -> MlChain {
+        MlChain::base(
+            Box::new(GaussianTarget::new(vec![mean], sd)),
+            Box::new(GaussianRandomWalk::new(0.6)),
+            vec![0.0],
+        )
+    }
+
+    fn anchor(chain: &mut MlChain, theta: f64) -> CoarseSample {
+        chain.anchor_at(&[theta])
+    }
+
+    #[test]
+    fn serve_is_deterministic_in_the_lease() {
+        // a serve is a pure function of the lease: two different chain
+        // instances (different trajectories) produce identical serves
+        let mut a = base_chain(0.3, 0.8);
+        let mut b = base_chain(0.3, 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..17 {
+            b.step(&mut rng); // desynchronize b's own trajectory
+        }
+        let lease = LedgerLease::fresh(session_seed(7, 0, 4), anchor(&mut a, 0.1));
+        let oa = serve(&mut a, 3, &lease);
+        let ob = serve(&mut b, 3, &lease);
+        assert_eq!(oa.proposal.theta, ob.proposal.theta);
+        assert_eq!(oa.pairing.theta, ob.pairing.theta);
+        assert_eq!(oa.proposal.log_density, ob.proposal.log_density);
+    }
+
+    #[test]
+    fn merged_session_serves_one_leg() {
+        let mut chain = base_chain(0.0, 1.0);
+        let lease = LedgerLease::fresh(1, anchor(&mut chain, 0.0));
+        assert!(lease.merged());
+        let out = serve(&mut chain, 2, &lease);
+        assert!(!out.diverged);
+        assert_eq!(out.proposal.theta, out.pairing.theta);
+        // accepted proposal keeps the session merged
+        let accepted = LedgerLease {
+            serves: 1,
+            pairing: Some(out.pairing.clone()),
+            anchor: out.pairing,
+            ..lease
+        };
+        assert!(accepted.merged());
+    }
+
+    #[test]
+    fn rejected_proposal_diverges_the_session() {
+        let mut chain = base_chain(0.0, 1.0);
+        let a0 = anchor(&mut chain, 0.0);
+        let lease = LedgerLease::fresh(2, a0.clone());
+        let out = serve(&mut chain, 2, &lease);
+        // requester rejected: anchor stays, pairing advanced
+        let rejected = LedgerLease {
+            serves: 1,
+            pairing: Some(out.pairing),
+            anchor: a0,
+            ..lease
+        };
+        assert!(!rejected.merged());
+        let out2 = serve(&mut chain, 2, &rejected);
+        assert!(out2.diverged);
+        // the proposal still starts from the anchor (exactness rewind):
+        // with common random numbers from distinct starts the two tracks
+        // generally end at distinct states
+        assert_ne!(out2.proposal.theta, out2.pairing.theta);
+        assert_eq!(
+            out2.proposal.mate.as_ref().map(|m| m.theta.clone()),
+            Some(out2.pairing.theta.clone())
+        );
+    }
+
+    #[test]
+    fn pairing_track_ignores_the_anchor_when_diverged() {
+        // the pairing track is autonomous: with identical session state,
+        // different anchors change the proposal but not the mate
+        let mut chain = base_chain(0.2, 0.7);
+        let p = anchor(&mut chain, -0.4);
+        let mk = |theta: f64, chain: &mut MlChain| LedgerLease {
+            session_seed: 11,
+            serves: 3,
+            pairing: Some(p.clone()),
+            anchor: anchor(chain, theta),
+        };
+        let la = mk(1.0, &mut chain);
+        let lb = mk(-1.0, &mut chain);
+        let oa = serve(&mut chain, 2, &la);
+        let ob = serve(&mut chain, 2, &lb);
+        assert_eq!(oa.pairing.theta, ob.pairing.theta);
+        assert_ne!(oa.proposal.theta, ob.proposal.theta);
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_sessions_and_serves() {
+        let s1 = session_seed(9, 0, 4);
+        let s2 = session_seed(9, 0, 5);
+        let s3 = session_seed(9, 1, 4);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(leg_seed(s1, 0), leg_seed(s1, 1));
+    }
+
+    #[test]
+    fn stats_report_diverged_fraction() {
+        let mut s = LedgerStats::default();
+        assert_eq!(s.diverged_fraction(), 0.0);
+        s.serves = 4;
+        s.diverged = 1;
+        assert!((s.diverged_fraction() - 0.25).abs() < 1e-12);
+    }
+}

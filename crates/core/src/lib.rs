@@ -14,6 +14,11 @@
 //! * [`estimator`] — the telescoping-sum estimator (paper eq. 2) with
 //!   per-level moments, autocorrelation and cost bookkeeping, and a
 //!   sequential driver reproducing Tables 3 and 4;
+//! * [`ledger`] — the per-requester rewind ledger: sessions whose
+//!   proposal track rewinds to the requester's anchor (fine-marginal
+//!   exactness) while an autonomous pairing track continues from the
+//!   last served sample (unbiased `π_{l-1}` correction mate), executed
+//!   identically by the sequential source and the parallel phonebooks;
 //! * [`allocate`] — optimal `N_l ∝ √(V_l/C_l)` sample allocation;
 //! * [`counting`] — instrumentation wrapper counting model evaluations
 //!   and wall-clock cost per level (the `t_l` columns).
@@ -25,7 +30,9 @@ pub mod counting;
 pub mod coupled;
 pub mod estimator;
 pub mod factory;
+pub mod ledger;
 
 pub use coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain, StepOutcome};
 pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};
 pub use factory::LevelFactory;
+pub use ledger::{LedgerLease, LedgerStats, PairingMode};

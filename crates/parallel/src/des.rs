@@ -49,6 +49,18 @@ pub struct DesConfig {
     /// Enable idle-chain reassignment (dynamic load balancing).
     pub load_balancing: bool,
     pub seed: u64,
+    /// Model per-requester **ledger serving** (PR 4): a coarse-sample
+    /// handoff costs the server `ρ_l × (1 + ledger_pairing_overhead)`
+    /// dedicated evaluations executed on demand (the proposal leg plus,
+    /// for diverged sessions, the pairing leg), instead of a free handoff
+    /// of a pre-produced state; servers serve on demand with no stride
+    /// pacing and requesters wait for the serve on their critical path.
+    /// `false` replays the legacy shared-state schedule (Figs. 11–12).
+    pub ledger: bool,
+    /// Fraction of serves that run the second (pairing) leg — feed the
+    /// live run's measured `LedgerStats::diverged_fraction` (≈ 1 once
+    /// sessions have diverged, which happens at the first rejection).
+    pub ledger_pairing_overhead: f64,
 }
 
 impl DesConfig {
@@ -124,6 +136,9 @@ pub fn simulate(config: &DesConfig) -> DesResult {
     assert_eq!(config.subsampling.len(), n_levels);
     assert_eq!(config.chains_per_level.len(), n_levels);
     assert!(config.group_size >= 1);
+    if config.ledger {
+        return simulate_ledger(config);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mut chains: Vec<Chain> = Vec::new();
@@ -370,6 +385,242 @@ pub fn simulate(config: &DesConfig) -> DesResult {
     }
 }
 
+/// The ledger-mode replay (see [`DesConfig::ledger`]): no pre-produced
+/// tokens — a requester's step first occupies a coarse server for
+/// `ρ × (1 + overhead)` dedicated evaluations (the ledger serve), then
+/// runs its own evaluation. Servers prioritize queued serves over their
+/// own production, exactly like the live controllers.
+#[allow(clippy::too_many_lines)]
+fn simulate_ledger(config: &DesConfig) -> DesResult {
+    let n_levels = config.samples_per_level.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    struct LChain {
+        level: usize,
+        phase: Phase,
+        /// `Some(requester)` while the chain's scheduled event is a serve
+        /// completion on that requester's behalf.
+        serve_for: Option<usize>,
+    }
+
+    let mut chains: Vec<LChain> = Vec::new();
+    for (level, &count) in config.chains_per_level.iter().enumerate() {
+        for _ in 0..count {
+            chains.push(LChain {
+                level,
+                phase: if config.burn_in[level] > 0 {
+                    Phase::Burnin(config.burn_in[level])
+                } else {
+                    Phase::Producing
+                },
+                serve_for: None,
+            });
+        }
+    }
+    let n_chains = chains.len();
+    let mut samples = vec![0usize; n_levels];
+    let mut evals = vec![0usize; n_levels];
+    let mut evals_serve = vec![0.0f64; n_levels];
+    let mut done = vec![false; n_levels];
+    // idle level-l servers available for on-demand serves
+    let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    // requesters waiting for a level-l serve
+    let mut waiting: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    let mut level_count = config.chains_per_level.clone();
+    let mut pb_free_at = 0.0f64;
+    let mut busy_time = 0.0f64;
+    let mut reassignments = 0usize;
+    // reassignment rate limit, mirroring the live phonebook's cooldown
+    // (without it, every idle coarse chain would migrate at once and each
+    // would pay the target level's burn-in)
+    let reassign_cooldown = 4 * n_chains;
+    let mut events_since_reassign = reassign_cooldown;
+    let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
+
+    let eval_duration = |rng: &mut StdRng, level: usize| -> f64 {
+        let base = config.eval_time[level];
+        if config.eval_jitter > 0.0 {
+            base * (config.eval_jitter * standard_normal(rng)).exp()
+        } else {
+            base
+        }
+    };
+
+    // A level-l serve runs `legs_l = ρ_l·(1+overhead)` steps of the
+    // level-l chain, and — for l ≥ 1 — each of those steps itself needs
+    // a level-(l−1) serve. Cost the nesting analytically: per level-l
+    // serve, level k ≤ l performs `Π_{j=k..l} legs_j` evaluations and
+    // the serve occupies the server for the summed duration. (Queue
+    // contention below the serving level is not modeled — the nested
+    // work is charged to this serve's critical path directly.)
+    let legs: Vec<f64> = (0..n_levels)
+        .map(|l| config.subsampling[l].max(1) as f64 * (1.0 + config.ledger_pairing_overhead))
+        .collect();
+    // serve_evals_at[l][k]: expected level-k evaluations per level-l serve
+    let serve_evals_at: Vec<Vec<f64>> = (0..n_levels)
+        .map(|l| {
+            (0..=l)
+                .map(|k| legs[k..=l].iter().product::<f64>())
+                .collect()
+        })
+        .collect();
+    let serve_mean_dur: Vec<f64> = (0..n_levels)
+        .map(|l| {
+            (0..=l)
+                .map(|k| serve_evals_at[l][k] * config.eval_time[k])
+                .sum()
+        })
+        .collect();
+
+    // a serve occupies `server` until the legs (including nested serves)
+    // are done, then releases the requester's own evaluation (scheduled
+    // at the serve-completion event)
+    macro_rules! start_serve {
+        ($server:expr, $requester:expr, $now:expr) => {{
+            let slevel = chains[$server].level;
+            let svc_start = pb_free_at.max($now);
+            pb_free_at = svc_start + config.phonebook_service_time;
+            // jitter the whole serve like one composite evaluation
+            let dur =
+                serve_mean_dur[slevel] * eval_duration(&mut rng, slevel) / config.eval_time[slevel];
+            busy_time += dur;
+            for (k, e) in serve_evals_at[slevel].iter().enumerate() {
+                evals_serve[k] += e;
+            }
+            chains[$server].serve_for = Some($requester);
+            heap.push(Reverse((T(svc_start + dur), $server)));
+        }};
+    }
+
+    // begin chain `id`'s next step: level 0 evaluates directly, finer
+    // levels first need a ledger serve from the level below
+    macro_rules! begin_step {
+        ($id:expr, $now:expr) => {{
+            let level = chains[$id].level;
+            if level == 0 {
+                let dur = eval_duration(&mut rng, 0);
+                busy_time += dur;
+                heap.push(Reverse((T($now + dur), $id)));
+            } else if let Some(server) = ready[level - 1].pop_front() {
+                start_serve!(server, $id, $now);
+            } else {
+                waiting[level - 1].push_back($id);
+            }
+        }};
+    }
+
+    // what a chain does after completing an event: serve next waiter,
+    // else keep producing, else go idle (and maybe reassign)
+    macro_rules! next_move {
+        ($id:expr, $now:expr) => {{
+            let level = chains[$id].level;
+            let is_top = level + 1 >= n_levels;
+            let serving_capable = chains[$id].phase == Phase::Producing && !is_top;
+            if serving_capable && !waiting[level].is_empty() {
+                let req = waiting[level].pop_front().expect("non-empty");
+                start_serve!($id, req, $now);
+            } else if !done[level] || matches!(chains[$id].phase, Phase::Burnin(_)) {
+                begin_step!($id, $now);
+            } else {
+                // idle: park as an on-demand server, or migrate to a
+                // starved level (dynamic load balancing, rate-limited)
+                let target = if config.load_balancing && events_since_reassign >= reassign_cooldown
+                {
+                    (0..n_levels).find(|&l| {
+                        l != level
+                            && !waiting[l].is_empty()
+                            && level_count[level] >= 2
+                            && !done.iter().skip(l + 1).all(|&d| d)
+                    })
+                } else {
+                    None
+                };
+                if let Some(target) = target {
+                    ready[level].retain(|&c| c != $id);
+                    level_count[level] -= 1;
+                    level_count[target] += 1;
+                    chains[$id].level = target;
+                    chains[$id].phase = if config.burn_in[target] > 0 {
+                        Phase::Burnin(config.burn_in[target])
+                    } else {
+                        Phase::Producing
+                    };
+                    reassignments += 1;
+                    events_since_reassign = 0;
+                    // the migrated chain starts over (burn-in first, like
+                    // the live controllers' rebuild)
+                    begin_step!($id, $now);
+                } else if !is_top && !ready[level].contains(&$id) {
+                    ready[level].push_back($id);
+                }
+            }
+        }};
+    }
+
+    for id in 0..n_chains {
+        begin_step!(id, 0.0);
+    }
+
+    let mut now = 0.0f64;
+    while let Some(Reverse((T(t), id))) = heap.pop() {
+        now = t;
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        events_since_reassign += 1;
+        if let Some(requester) = chains[id].serve_for.take() {
+            // serve completed: the requester's own evaluation starts now
+            let rlevel = chains[requester].level;
+            let dur = eval_duration(&mut rng, rlevel);
+            busy_time += dur;
+            heap.push(Reverse((T(now + dur), requester)));
+            next_move!(id, now);
+            continue;
+        }
+        // own step completed
+        let level = chains[id].level;
+        evals[level] += 1;
+        match chains[id].phase {
+            Phase::Burnin(remaining) => {
+                chains[id].phase = if remaining <= 1 {
+                    Phase::Producing
+                } else {
+                    Phase::Burnin(remaining - 1)
+                };
+            }
+            Phase::Producing => {
+                if !done[level] {
+                    samples[level] += 1;
+                    if samples[level] >= config.samples_per_level[level] {
+                        done[level] = true;
+                    }
+                }
+            }
+        }
+        next_move!(id, now);
+    }
+
+    let collector_floor = config
+        .samples_per_level
+        .iter()
+        .map(|&n| n as f64 * config.collector_service_time)
+        .fold(0.0f64, f64::max);
+    let makespan = now.max(collector_floor);
+    for (e, s) in evals.iter_mut().zip(&evals_serve) {
+        *e += s.round() as usize;
+    }
+    DesResult {
+        makespan,
+        evals_per_level: evals,
+        reassignments,
+        busy_fraction: if makespan > 0.0 {
+            (busy_time / (makespan * n_chains.max(1) as f64)).min(1.0)
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Distribute `n_chains` chains over levels proportionally to the optimal
 /// effort share `√(V_l C_l)` (at least one chain per level).
 pub fn distribute_chains(n_chains: usize, variances: &[f64], costs: &[f64]) -> Vec<usize> {
@@ -416,6 +667,8 @@ mod tests {
             collector_service_time: 0.0,
             load_balancing: false,
             seed: 1,
+            ledger: false,
+            ledger_pairing_overhead: 0.0,
         }
     }
 

@@ -30,7 +30,8 @@
 
 use crate::runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 use crate::scheduler::{
-    poison_sample, CollectorData, Msg, ParallelConfig, ParallelLevelReport, ParallelReport,
+    controller_seed, poison_sample, CollectorData, LedgerBook, Msg, ParallelConfig,
+    ParallelLevelReport, ParallelReport,
 };
 use crate::trace::{SpanKind, Tracer};
 use rand::rngs::StdRng;
@@ -40,6 +41,7 @@ use std::time::Instant;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseSample, MlChain, PendingCoarseSource, StepOutcome};
+use uq_mlmcmc::ledger::{self, LedgerLease, LedgerStats, PairingMode};
 use uq_mlmcmc::LevelFactory;
 
 const ROOT: usize = 0;
@@ -121,6 +123,9 @@ pub struct PhonebookStats {
     pub routed: usize,
     /// Load-balancer reassignments issued.
     pub reassignments: usize,
+    /// Rewind-ledger session statistics (sessions opened, serves,
+    /// diverged pairing legs).
+    pub ledger: LedgerStats,
 }
 
 impl PhonebookStats {
@@ -375,10 +380,13 @@ impl VirtualRank<Msg> for RootRank<'_> {
 struct PhonebookRank<'a> {
     config: &'a RuntimeConfig,
     tracer: &'a Tracer,
-    /// Controllers of level `l` holding an unclaimed ready sample.
+    /// Controllers of level `l` announcing serve availability.
     ready: Vec<VecDeque<usize>>,
-    /// Requesters waiting for a level-`l` sample.
-    pending: Vec<VecDeque<usize>>,
+    /// Requesters waiting for a level-`l` serve, with their anchors.
+    pending: Vec<VecDeque<(usize, Box<CoarseSample>)>>,
+    /// The per-requester rewind ledger (lease lookups happen inside the
+    /// batched drain loop — one session map access per routed serve).
+    ledger: LedgerBook,
     level_of: std::collections::HashMap<usize, usize>,
     done: Vec<bool>,
     stats: PhonebookStats,
@@ -398,6 +406,7 @@ impl<'a> PhonebookRank<'a> {
             tracer,
             ready: vec![VecDeque::new(); n_levels],
             pending: vec![VecDeque::new(); n_levels],
+            ledger: LedgerBook::default(),
             level_of: (config.first_controller_rank()..config.n_ranks())
                 .map(|rank| (rank, config.initial_level(rank)))
                 .collect(),
@@ -439,6 +448,8 @@ impl<'a> PhonebookRank<'a> {
         }
         if let Some(rank) = self.ready[donor_level].pop_front() {
             self.level_of.insert(rank, starved);
+            // the reassigned chain restarts: drop its requester sessions
+            self.ledger.forget_requester(rank);
             ctx.send(rank, Msg::Reassign { level: starved });
             ctx.send(ROOT, Msg::Reassign { level: starved });
             self.tracer.mark(
@@ -471,21 +482,40 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                         self.ema_interval[level] = 0.8 * self.ema_interval[level] + 0.2 * dt;
                     }
                     self.last_ready_at[level] = now;
-                    if let Some(reply_to) = self.pending[level].pop_front() {
-                        ctx.send(env.from, Msg::Serve { reply_to });
+                    if let Some((reply_to, anchor)) = self.pending[level].pop_front() {
+                        let lease =
+                            self.ledger
+                                .lease(self.config.base.seed, level, reply_to, *anchor);
+                        ctx.send(env.from, Msg::Serve { reply_to, lease });
                         self.stats.routed += 1;
                     } else {
                         self.ready[level].push_back(env.from);
                     }
                 }
-                Msg::CoarseRequest { level, reply_to } => {
+                Msg::CoarseRequest {
+                    level,
+                    reply_to,
+                    anchor,
+                } => {
                     if let Some(server) = self.ready[level].pop_front() {
-                        ctx.send(server, Msg::Serve { reply_to });
+                        let lease =
+                            self.ledger
+                                .lease(self.config.base.seed, level, reply_to, *anchor);
+                        ctx.send(server, Msg::Serve { reply_to, lease });
                         self.stats.routed += 1;
                     } else {
-                        self.pending[level].push_back(reply_to);
+                        self.pending[level].push_back((reply_to, anchor));
                     }
                 }
+                Msg::LedgerUpdate {
+                    requester,
+                    level,
+                    serves,
+                    pairing,
+                    diverged,
+                } => self
+                    .ledger
+                    .update(requester, level, serves, *pairing, diverged),
                 Msg::LevelDone { level } => self.done[level] = true,
                 Msg::Shutdown => shutdown = true,
                 _ => {}
@@ -499,10 +529,11 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
         if shutdown {
             // no more forwards: poison every queued request, report, ack
             for queue in &mut self.pending {
-                for reply_to in queue.drain(..) {
+                for (reply_to, _) in queue.drain(..) {
                     ctx.send(reply_to, Msg::Poison);
                 }
             }
+            self.stats.ledger = self.ledger.stats;
             ctx.send(ROOT, Msg::PhonebookReport(Box::new(self.stats)));
             ctx.send(ROOT, Msg::PhonebookDown);
             return Poll::Exit(RoleOut::Quiet);
@@ -603,6 +634,39 @@ impl VirtualRank<Msg> for CollectorRank {
 // controller
 // ---------------------------------------------------------------------
 
+/// Which leg of a ledger serve the controller is executing.
+enum ServeLeg {
+    /// The exactness rewind from the requester's anchor.
+    Proposal,
+    /// The autonomous pairing track from the session's last state.
+    Pairing,
+}
+
+/// An in-progress ledger serve: the controller's chain is temporarily
+/// rewound to the lease's states and advanced `ρ` steps per leg; nested
+/// coarse requests suspend the job like an ordinary coupled step.
+struct ServeJob {
+    reply_to: usize,
+    lease: LedgerLease,
+    leg: ServeLeg,
+    steps_left: usize,
+    /// The serve's derived random substream (see `ledger::leg_seed`).
+    rng: StdRng,
+    /// The controller's own trajectory, restored when the serve ends.
+    snapshot: CoarseSample,
+    proposal: Option<CoarseSample>,
+}
+
+/// What the controller's single outstanding coarse request (if any)
+/// belongs to — its own suspended step or the active serve job's nested
+/// step. At most one is in flight, so fulfillments route unambiguously.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Await {
+    None,
+    OwnStep,
+    ServeStep,
+}
+
 struct ControllerRank<'a> {
     factory: &'a dyn LevelFactory,
     config: &'a RuntimeConfig,
@@ -615,11 +679,10 @@ struct ControllerRank<'a> {
     done_levels: Vec<bool>,
     burnin_left: usize,
     producing: bool,
-    pending_serves: VecDeque<usize>,
-    steps_since_serve: usize,
+    pending_serves: VecDeque<(usize, Box<LedgerLease>)>,
+    serve_job: Option<ServeJob>,
     announced: bool,
-    /// A `CoarseRequest` is in flight; the chain is suspended mid-step.
-    awaiting_coarse: bool,
+    awaiting: Await,
     /// Round-robin cursor over this level's collector shards.
     shard_rr: usize,
 }
@@ -634,7 +697,7 @@ impl<'a> ControllerRank<'a> {
         let n_levels = config.n_levels();
         let level = config.initial_level(rank);
         let counters: Vec<EvalCounter> = (0..n_levels).map(|_| EvalCounter::new()).collect();
-        let rng = StdRng::seed_from_u64(config.base.seed.wrapping_add(rank as u64 * 0x9E37_79B9));
+        let rng = StdRng::seed_from_u64(controller_seed(config.base.seed, rank));
         let mut this = Self {
             factory,
             config,
@@ -648,9 +711,9 @@ impl<'a> ControllerRank<'a> {
             burnin_left: config.base.burn_in[level],
             producing: true,
             pending_serves: VecDeque::new(),
-            steps_since_serve: 0,
+            serve_job: None,
             announced: false,
-            awaiting_coarse: false,
+            awaiting: Await::None,
             shard_rr: rank,
         };
         this.reset_level_state();
@@ -695,9 +758,9 @@ impl<'a> ControllerRank<'a> {
     fn reset_level_state(&mut self) {
         self.burnin_left = self.config.base.burn_in[self.level];
         self.producing = !self.done_levels[self.level];
-        self.steps_since_serve = 0;
+        self.serve_job = None;
         self.announced = false;
-        self.awaiting_coarse = false;
+        self.awaiting = Await::None;
     }
 
     fn rho(&self) -> usize {
@@ -723,22 +786,20 @@ impl<'a> ControllerRank<'a> {
     fn post_step(&mut self, ctx: &VCtx<'_, Msg>) {
         if self.burnin_left > 0 {
             self.burnin_left -= 1;
-            if self.burnin_left == 0 {
-                // warm chain counts as ready
-                self.steps_since_serve = self.rho();
-            }
             return;
         }
-        self.steps_since_serve += 1;
         if self.producing {
             let fine_qoi = self.chain.state().qoi.clone();
-            let (y, coarse_qoi) = match self.chain.last_coarse() {
-                None => (fine_qoi.clone(), None),
-                Some(c) => (
-                    fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
-                    Some(c.qoi.clone()),
-                ),
+            let paired = match self.config.base.pairing {
+                PairingMode::Proposal => self.chain.last_coarse(),
+                PairingMode::Ledger => self.chain.last_pairing(),
             };
+            let y = match paired {
+                None => fine_qoi.clone(),
+                Some(c) => fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
+            };
+            // the recorded pair always shows the proposal coupling
+            let coarse_qoi = self.chain.last_coarse().map(|c| c.qoi.clone());
             let shards = self.config.collector_shards;
             self.shard_rr = (self.shard_rr + 1) % shards;
             ctx.send(
@@ -752,41 +813,144 @@ impl<'a> ControllerRank<'a> {
                 },
             );
         }
-        if self.steps_since_serve >= self.rho() {
-            if let Some(reply_to) = self.pending_serves.pop_front() {
-                let s = self.chain.state();
-                ctx.send(
-                    reply_to,
-                    Msg::CoarseSample {
-                        level: self.level,
-                        theta: s.theta.clone(),
-                        log_density: s.log_density,
-                        qoi: s.qoi.clone(),
-                    },
-                );
-                self.steps_since_serve = 0;
-                self.announced = false;
-            } else if !self.announced && !self.is_top() {
-                ctx.send(PHONEBOOK, Msg::SampleReady { level: self.level });
-                self.announced = true;
+    }
+
+    fn want_step(&self) -> bool {
+        self.burnin_left > 0 || self.producing
+    }
+
+    /// Begin a ledger serve: snapshot our trajectory, rewind to the
+    /// lease's anchor, and set up the proposal leg's substream.
+    fn start_serve(&mut self, reply_to: usize, lease: LedgerLease) {
+        let snapshot = self.chain.current_as_sample();
+        let rng = StdRng::seed_from_u64(ledger::leg_seed(lease.session_seed, lease.serves));
+        self.chain.restore(&lease.anchor);
+        self.serve_job = Some(ServeJob {
+            reply_to,
+            lease,
+            leg: ServeLeg::Proposal,
+            steps_left: self.rho(),
+            rng,
+            snapshot,
+            proposal: None,
+        });
+    }
+
+    /// Drive the active serve job until it suspends on a nested coarse
+    /// request (`Some(wait predicate)`) or completes (`None`).
+    fn drive_serve(&mut self, ctx: &mut VCtx<'_, Msg>) -> Option<crate::runtime::WaitPred<Msg>> {
+        let mut job = self.serve_job.take().expect("drive_serve: active job");
+        loop {
+            if job.steps_left == 0 {
+                match job.leg {
+                    ServeLeg::Proposal => {
+                        let proposal = self.chain.current_as_sample();
+                        if job.lease.merged() {
+                            // one run serves both tracks while the
+                            // requester keeps accepting
+                            self.finish_serve(ctx, &job, proposal.clone(), proposal, false);
+                            return None;
+                        }
+                        job.proposal = Some(proposal);
+                        job.leg = ServeLeg::Pairing;
+                        job.steps_left = self.rho();
+                        // common random numbers: the pairing leg re-uses
+                        // the serve's substream
+                        job.rng = StdRng::seed_from_u64(ledger::leg_seed(
+                            job.lease.session_seed,
+                            job.lease.serves,
+                        ));
+                        let pairing = job.lease.pairing.clone().expect("diverged lease");
+                        self.chain.restore(&pairing);
+                        continue;
+                    }
+                    ServeLeg::Pairing => {
+                        let pairing = self.chain.current_as_sample();
+                        let proposal = job.proposal.take().expect("pairing leg has proposal");
+                        self.finish_serve(ctx, &job, proposal, pairing, true);
+                        return None;
+                    }
+                }
+            }
+            let serve_start = self.tracer.now();
+            match self.chain.poll_step(&mut job.rng) {
+                StepOutcome::Done(_) => {
+                    self.tracer.record(
+                        self.rank,
+                        SpanKind::Serve { level: self.level },
+                        serve_start,
+                        self.tracer.now(),
+                    );
+                    job.steps_left -= 1;
+                }
+                StepOutcome::NeedCoarse => {
+                    let want = self.level - 1;
+                    let anchor = self
+                        .chain
+                        .anchor()
+                        .expect("serving coupled chain has an anchor")
+                        .clone();
+                    ctx.send(
+                        PHONEBOOK,
+                        Msg::CoarseRequest {
+                            level: want,
+                            reply_to: self.rank,
+                            anchor: Box::new(anchor),
+                        },
+                    );
+                    self.awaiting = Await::ServeStep;
+                    self.serve_job = Some(job);
+                    return Some(coarse_wait_pred(want));
+                }
             }
         }
     }
 
-    fn want_step(&self) -> bool {
-        self.burnin_left > 0
-            || self.producing
-            || !self.pending_serves.is_empty()
-            || (!self.is_top() && (!self.announced || self.steps_since_serve < self.rho()))
+    /// Conclude a serve: restore our trajectory, ship the proposal (mate
+    /// piggybacked) to the requester, write the session back to the
+    /// phonebook's ledger and re-announce availability.
+    fn finish_serve(
+        &mut self,
+        ctx: &VCtx<'_, Msg>,
+        job: &ServeJob,
+        mut proposal: CoarseSample,
+        pairing: CoarseSample,
+        diverged: bool,
+    ) {
+        self.chain.restore(&job.snapshot);
+        proposal.mate = Some(Box::new(pairing.clone()));
+        ctx.send(
+            job.reply_to,
+            Msg::CoarseSample {
+                level: self.level,
+                sample: Box::new(proposal),
+            },
+        );
+        ctx.send(
+            PHONEBOOK,
+            Msg::LedgerUpdate {
+                requester: job.reply_to,
+                level: self.level,
+                serves: job.lease.serves + 1,
+                pairing: Box::new(pairing),
+                diverged,
+            },
+        );
+        ctx.send(PHONEBOOK, Msg::SampleReady { level: self.level });
+        self.announced = true;
+        self.awaiting = Await::None;
     }
 
     /// Teardown: poison outstanding serve requests, report, exit.
     fn teardown(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
-        for reply_to in self.pending_serves.drain(..) {
+        if let Some(job) = self.serve_job.take() {
+            ctx.send(job.reply_to, Msg::Poison);
+        }
+        for (reply_to, _) in self.pending_serves.drain(..) {
             ctx.send(reply_to, Msg::Poison);
         }
         while let Some(env) = ctx.try_recv() {
-            if let Msg::Serve { reply_to } = env.msg {
+            if let Msg::Serve { reply_to, .. } = env.msg {
                 ctx.send(reply_to, Msg::Poison);
             }
         }
@@ -801,18 +965,18 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
     type Output = RoleOut;
 
     fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
-        // 1. control messages. While a coarse request is in flight,
-        //    `Reassign` stays buffered (the thread scheduler likewise
-        //    finishes the in-flight step before rebuilding).
-        let awaiting = self.awaiting_coarse;
+        // 1. control messages. While a coarse request or a serve job is
+        //    in flight, `Reassign` stays buffered (the thread scheduler
+        //    likewise finishes in-flight work before rebuilding).
+        let busy = self.awaiting != Await::None || self.serve_job.is_some();
         while let Some(env) = ctx.try_recv_match(|e| {
             matches!(
                 e.msg,
                 Msg::Serve { .. } | Msg::StopProducing { .. } | Msg::Shutdown
-            ) || (!awaiting && matches!(e.msg, Msg::Reassign { .. }))
+            ) || (!busy && matches!(e.msg, Msg::Reassign { .. }))
         }) {
             match env.msg {
-                Msg::Serve { reply_to } => self.pending_serves.push_back(reply_to),
+                Msg::Serve { reply_to, lease } => self.pending_serves.push_back((reply_to, lease)),
                 Msg::StopProducing { level } => {
                     self.done_levels[level] = true;
                     if level == self.level {
@@ -822,7 +986,7 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                 Msg::Reassign { level } => {
                     // abandon this chain, rebuild on the new level;
                     // poison anyone we promised to serve
-                    for reply_to in self.pending_serves.drain(..) {
+                    for (reply_to, _) in self.pending_serves.drain(..) {
                         ctx.send(reply_to, Msg::Poison);
                     }
                     self.level = level;
@@ -834,8 +998,10 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
             }
         }
 
-        // 2. fulfill a suspended step if its coarse sample arrived
-        if self.awaiting_coarse {
+        // 2. fulfill the single outstanding coarse request if its sample
+        //    arrived — either our own suspended step or the serve job's
+        //    nested step
+        if self.awaiting != Await::None {
             let want_level = self.level - 1;
             let Some(env) = ctx.try_recv_match(|e| {
                 matches!(&e.msg, Msg::CoarseSample { level, .. } if *level == want_level)
@@ -844,30 +1010,66 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                 return Poll::Wait(coarse_wait_pred(want_level));
             };
             let coarse = match env.msg {
-                Msg::CoarseSample {
-                    theta,
-                    log_density,
-                    qoi,
-                    ..
-                } => CoarseSample {
-                    theta,
-                    log_density,
-                    qoi,
-                    sub_anchor: None,
-                },
+                Msg::CoarseSample { sample, .. } => *sample,
                 _ => poison_sample(),
             };
-            self.awaiting_coarse = false;
-            let span = self.span_kind();
-            let eval_start = self.tracer.now();
-            self.chain.resume_step(&mut self.rng, coarse);
-            self.tracer
-                .record(self.rank, span, eval_start, self.tracer.now());
-            self.post_step(ctx);
-            return Poll::Ready;
+            match self.awaiting {
+                Await::OwnStep => {
+                    self.awaiting = Await::None;
+                    let span = self.span_kind();
+                    let eval_start = self.tracer.now();
+                    self.chain.resume_step(&mut self.rng, coarse);
+                    self.tracer
+                        .record(self.rank, span, eval_start, self.tracer.now());
+                    self.post_step(ctx);
+                    return Poll::Ready;
+                }
+                Await::ServeStep => {
+                    self.awaiting = Await::None;
+                    let job = self.serve_job.as_mut().expect("nested step has a job");
+                    let serve_start = self.tracer.now();
+                    self.chain.resume_step(&mut job.rng, coarse);
+                    self.tracer.record(
+                        self.rank,
+                        SpanKind::Serve { level: self.level },
+                        serve_start,
+                        self.tracer.now(),
+                    );
+                    job.steps_left -= 1;
+                    return match self.drive_serve(ctx) {
+                        Some(wait) => Poll::Wait(wait),
+                        None => Poll::Ready,
+                    };
+                }
+                Await::None => unreachable!(),
+            }
         }
 
-        // 3. advance the chain if there is a reason to
+        // 3. a requester is suspended on every queued serve: run ledger
+        //    serves before our own chain
+        if self.serve_job.is_some() {
+            return match self.drive_serve(ctx) {
+                Some(wait) => Poll::Wait(wait),
+                None => Poll::Ready,
+            };
+        }
+        if self.burnin_left == 0 {
+            if let Some((reply_to, lease)) = self.pending_serves.pop_front() {
+                self.start_serve(reply_to, *lease);
+                return match self.drive_serve(ctx) {
+                    Some(wait) => Poll::Wait(wait),
+                    None => Poll::Ready,
+                };
+            }
+            if !self.announced && !self.is_top() {
+                // availability token: ρ is enforced inside the ledger
+                // serve, so no stride gating on our own chain
+                ctx.send(PHONEBOOK, Msg::SampleReady { level: self.level });
+                self.announced = true;
+            }
+        }
+
+        // 4. advance our own chain if there is a reason to
         if self.want_step() {
             let span = self.span_kind();
             let eval_start = self.tracer.now();
@@ -879,12 +1081,18 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                     Poll::Ready
                 }
                 StepOutcome::NeedCoarse => {
-                    self.awaiting_coarse = true;
+                    self.awaiting = Await::OwnStep;
+                    let anchor = self
+                        .chain
+                        .anchor()
+                        .expect("coupled chain has an anchor")
+                        .clone();
                     ctx.send(
                         PHONEBOOK,
                         Msg::CoarseRequest {
                             level: self.level - 1,
                             reply_to: self.rank,
+                            anchor: Box::new(anchor),
                         },
                     );
                     Poll::Wait(coarse_wait_pred(self.level - 1))
@@ -935,7 +1143,7 @@ pub fn run_runtime(
     let runtime = Runtime::new(config.n_workers);
     let run = runtime.run(
         config.n_ranks(),
-        |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + '_> {
+        |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + Send + '_> {
             if rank == ROOT {
                 Box::new(RootRank::new(config, start))
             } else if rank == PHONEBOOK {

@@ -20,16 +20,21 @@
 //! dropped — here counted in [`RuntimeStats::dropped_sends`] rather than
 //! lost silently.
 //!
-//! Scheduling is deterministic in structure (rank `r` is pinned to worker
-//! `r % n_workers`, run queues are FIFO) but not in timing: wakeup
+//! Scheduling is deterministic in structure (rank `r` is *homed* on
+//! worker `r % n_workers`, run queues are FIFO) but not in timing: wakeup
 //! interleavings across workers depend on the OS, exactly like the thread
-//! scheduler's. The MLMCMC role protocols ported onto this runtime live
-//! in [`crate::roles`].
+//! scheduler's. An idle worker **steals** runnable ranks from the longest
+//! run queue (machines live in per-rank cells and are `Send`, so they
+//! travel with their rank), which bounds the straggling a hot home worker
+//! can cause; with a single worker no stealing is possible, so
+//! single-worker runs remain exactly deterministic. The MLMCMC role
+//! protocols ported onto this runtime live in [`crate::roles`].
 
 use crate::comm::Envelope;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Wait predicate returned by [`Poll::Wait`]: `true` for any message that
 /// should wake the suspended rank.
@@ -95,6 +100,7 @@ struct Shared<M> {
     dropped_sends: AtomicUsize,
     polls: AtomicUsize,
     wakeups: AtomicUsize,
+    steals: AtomicUsize,
 }
 
 impl<M: Send> Shared<M> {
@@ -232,6 +238,9 @@ pub struct RuntimeStats {
     pub wakeups: usize,
     /// Sends to already-exited ranks (observable shutdown message loss).
     pub dropped_sends: usize,
+    /// Runnable ranks taken from another worker's run queue by an idle
+    /// worker (work stealing).
+    pub steals: usize,
 }
 
 /// Results of a runtime execution.
@@ -262,9 +271,11 @@ impl Runtime {
 
     /// Run `n_ranks` virtual ranks to completion and gather their outputs
     /// by rank index. `factory(rank, size)` builds each rank's state
-    /// machine — it is invoked on the worker thread that owns the rank
-    /// (rank `r` lives on worker `r % n_workers`), so machines never
-    /// cross threads and need not be `Send`.
+    /// machine lazily on first poll — usually on the rank's home worker
+    /// (`r % n_workers`), but possibly on a stealing worker, so machines
+    /// must be `Send`. Between polls a machine rests in its rank's cell;
+    /// whichever worker pops the rank (home or thief) takes it from
+    /// there, so a machine is only ever touched by one thread at a time.
     ///
     /// # Panics
     /// Propagates panics from worker threads.
@@ -272,7 +283,7 @@ impl Runtime {
     where
         M: Send + 'a,
         R: Send + 'a,
-        F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + 'a> + Sync,
+        F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + Send + 'a> + Sync,
     {
         assert!(n_ranks > 0, "Runtime::run: need at least one rank");
         let n_workers = self.n_workers.min(n_ranks);
@@ -296,19 +307,26 @@ impl Runtime {
             dropped_sends: AtomicUsize::new(0),
             polls: AtomicUsize::new(0),
             wakeups: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
         };
         // every rank starts runnable, queued in rank order on its worker
         for (worker_id, worker) in shared.workers.iter().enumerate() {
             let mut queue = worker.run_queue.lock().expect("runtime poisoned");
             queue.extend((worker_id..n_ranks).step_by(n_workers));
         }
+        // machine cells: one per rank, taken by whichever worker polls it
+        let cells: Vec<Mutex<Option<Entry<'a, M, R>>>> =
+            (0..n_ranks).map(|_| Mutex::new(None)).collect();
         let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let shared = &shared;
+            let cells = &cells;
             let factory = &factory;
             let mut handles = Vec::with_capacity(n_workers);
             for worker_id in 0..n_workers {
-                handles.push(scope.spawn(move || worker_loop(shared, worker_id, n_ranks, factory)));
+                handles.push(
+                    scope.spawn(move || worker_loop(shared, cells, worker_id, n_ranks, factory)),
+                );
             }
             for handle in handles {
                 for (rank, out) in handle.join().expect("runtime worker panicked") {
@@ -322,15 +340,70 @@ impl Runtime {
                 polls: shared.polls.load(Ordering::Relaxed),
                 wakeups: shared.wakeups.load(Ordering::Relaxed),
                 dropped_sends: shared.dropped_sends.load(Ordering::Relaxed),
+                steals: shared.steals.load(Ordering::Relaxed),
             },
         }
     }
 }
 
-/// One worker: pop runnable ranks, poll their machines, handle the
-/// returned suspension.
+/// A rank's state machine plus its rank-local message buffer; rests in
+/// the rank's cell between polls and travels with it when stolen.
+struct Entry<'a, M: Send, R> {
+    machine: Box<dyn VirtualRank<M, Output = R> + Send + 'a>,
+    buffer: VecDeque<Envelope<M>>,
+}
+
+/// Makes a worker panic observable to its peers: without this, a panic
+/// in one machine would leave the other workers parked forever instead
+/// of letting the scope join propagate it.
+struct PanicFence<'s, M>(&'s Shared<M>);
+
+impl<M> Drop for PanicFence<'_, M> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.done.store(true, Ordering::Release);
+            for w in &self.0.workers {
+                let _guard = w.run_queue.lock();
+                w.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Steal a runnable rank for `thief`: scan the other workers' queues and
+/// pop from the back of the longest (the victim keeps its FIFO front).
+fn try_steal<M: Send>(shared: &Shared<M>, thief: usize) -> Option<usize> {
+    let n = shared.workers.len();
+    let mut best: Option<(usize, usize)> = None; // (queue length, victim)
+    for offset in 1..n {
+        let victim = (thief + offset) % n;
+        let len = shared.workers[victim]
+            .run_queue
+            .lock()
+            .expect("runtime poisoned")
+            .len();
+        if len > 0 && best.is_none_or(|(l, _)| len > l) {
+            best = Some((len, victim));
+        }
+    }
+    let (_, victim) = best?;
+    let rank = shared.workers[victim]
+        .run_queue
+        .lock()
+        .expect("runtime poisoned")
+        .pop_back();
+    if rank.is_some() {
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+    }
+    rank
+}
+
+/// One worker: pop runnable ranks (own queue first, then steal from the
+/// longest peer queue), poll their machines, handle the returned
+/// suspension.
 fn worker_loop<'a, M, R, F>(
     shared: &Shared<M>,
+    cells: &[Mutex<Option<Entry<'a, M, R>>>],
     worker_id: usize,
     n_ranks: usize,
     factory: &F,
@@ -338,33 +411,50 @@ fn worker_loop<'a, M, R, F>(
 where
     M: Send + 'a,
     R: Send + 'a,
-    F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + 'a> + Sync,
+    F: Fn(usize, usize) -> Box<dyn VirtualRank<M, Output = R> + Send + 'a> + Sync,
 {
-    struct Entry<'a, M: Send, R> {
-        machine: Box<dyn VirtualRank<M, Output = R> + 'a>,
-        buffer: VecDeque<Envelope<M>>,
-    }
-    let mut machines: HashMap<usize, Entry<'a, M, R>> = HashMap::new();
     let mut outputs = Vec::new();
     let worker = &shared.workers[worker_id];
+    let _fence = PanicFence(shared);
     loop {
-        // next runnable rank (or exit once every rank has finished)
+        // next runnable rank: own queue, else steal, else park briefly
+        // (timed, so new steal opportunities on other workers' queues are
+        // noticed; own-queue wakeups notify the condvar directly)
         let rank = {
-            let mut queue = worker.run_queue.lock().expect("runtime poisoned");
-            loop {
-                if let Some(rank) = queue.pop_front() {
-                    break rank;
+            let mut next = None;
+            while next.is_none() {
+                if let Some(rank) = {
+                    let mut queue = worker.run_queue.lock().expect("runtime poisoned");
+                    queue.pop_front()
+                } {
+                    next = Some(rank);
+                    break;
                 }
                 if shared.done.load(Ordering::Acquire) {
                     return outputs;
                 }
-                queue = worker.cv.wait(queue).expect("runtime poisoned");
+                if let Some(rank) = try_steal(shared, worker_id) {
+                    next = Some(rank);
+                    break;
+                }
+                let queue = worker.run_queue.lock().expect("runtime poisoned");
+                if queue.is_empty() && !shared.done.load(Ordering::Acquire) {
+                    let _ = worker
+                        .cv
+                        .wait_timeout(queue, Duration::from_micros(500))
+                        .expect("runtime poisoned");
+                }
             }
+            next.expect("runnable rank")
         };
-        let entry = machines.entry(rank).or_insert_with(|| Entry {
-            machine: factory(rank, n_ranks),
-            buffer: VecDeque::new(),
-        });
+        let mut entry = cells[rank]
+            .lock()
+            .expect("runtime poisoned")
+            .take()
+            .unwrap_or_else(|| Entry {
+                machine: factory(rank, n_ranks),
+                buffer: VecDeque::new(),
+            });
         shared.polls.fetch_add(1, Ordering::Relaxed);
         let mut ctx = VCtx {
             rank,
@@ -373,13 +463,19 @@ where
             buffer: &mut entry.buffer,
         };
         match entry.machine.poll(&mut ctx) {
-            Poll::Ready => shared.enqueue(rank),
+            Poll::Ready => {
+                // park the machine before re-queueing: the next poll may
+                // happen on a different worker
+                *cells[rank].lock().expect("runtime poisoned") = Some(entry);
+                shared.enqueue(rank);
+            }
             Poll::Wait(mut pred) => {
                 // Install the predicate under the slot lock, re-checking
                 // messages that raced in after the rank last drained (and,
                 // defensively, the rank-local buffer): a match means the
                 // rank stays runnable instead of suspending.
                 let matched_buffered = entry.buffer.iter().any(&mut pred);
+                *cells[rank].lock().expect("runtime poisoned") = Some(entry);
                 let mut slot = shared.slots[rank].lock().expect("runtime poisoned");
                 if matched_buffered || slot.queue.iter().any(&mut pred) {
                     drop(slot);
@@ -398,7 +494,7 @@ where
                     shared.dropped_sends.fetch_add(lost, Ordering::Relaxed);
                     slot.queue.clear();
                 }
-                machines.remove(&rank);
+                drop(entry);
                 outputs.push((rank, out));
                 if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
                     shared.done.store(true, Ordering::Release);
@@ -423,7 +519,7 @@ mod tests {
         Stop,
     }
 
-    type Machine = Box<dyn VirtualRank<TestMsg, Output = usize>>;
+    type Machine = Box<dyn VirtualRank<TestMsg, Output = usize> + Send>;
 
     /// Ring: rank 0 injects `Token(0)`; on receipt every rank forwards
     /// `Token(v + 1)` to the next rank (modulo size) and exits with `v`.
@@ -559,6 +655,72 @@ mod tests {
         assert_eq!(run.stats.dropped_sends, 0);
     }
 
+    /// A rank that burns CPU for `spins` sin() iterations, then exits.
+    struct HeavyRank {
+        spins: u32,
+    }
+
+    impl VirtualRank<TestMsg> for HeavyRank {
+        type Output = usize;
+        fn poll(&mut self, _ctx: &mut VCtx<'_, TestMsg>) -> Poll<TestMsg, usize> {
+            let mut x = 0.4f64;
+            for _ in 0..self.spins {
+                x = (x + 1.3).sin();
+            }
+            std::hint::black_box(x);
+            Poll::Exit(1)
+        }
+    }
+
+    #[test]
+    fn work_stealing_rescues_a_skewed_pinning() {
+        // all the heavy ranks are homed on worker 0 (rank % 4 == 0), the
+        // rest exit immediately: without stealing, worker 0 would run the
+        // entire spin workload serially while three workers idle
+        let n = 64usize;
+        let n_workers = 4usize;
+        let spins = 300_000u32;
+        // calibrate one heavy unit single-threaded
+        let t0 = std::time::Instant::now();
+        let mut x = 0.4f64;
+        for _ in 0..spins {
+            x = (x + 1.3).sin();
+        }
+        std::hint::black_box(x);
+        let unit = t0.elapsed();
+        let heavy_count = n / n_workers; // ranks 0, 4, 8, …
+        let serial = unit * heavy_count as u32;
+
+        let t1 = std::time::Instant::now();
+        let run = Runtime::new(n_workers).run(n, |rank, _| {
+            Box::new(HeavyRank {
+                spins: if rank % n_workers == 0 { spins } else { 0 },
+            }) as Machine
+        });
+        let elapsed = t1.elapsed();
+        assert_eq!(run.results.iter().sum::<usize>(), n);
+        // idle workers must actually have stolen from the hot one
+        assert!(run.stats.steals > 0, "stats {:?}", run.stats);
+        // bounded overhead: the skewed pinning must finish well below the
+        // hot worker's serial bound (only asserted when the machine can
+        // physically run two workers at once; the generous factor absorbs
+        // noisy-neighbor CI variance)
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores >= 2 {
+            assert!(
+                elapsed < serial * 3 / 4,
+                "stealing should beat the hot-worker serial bound: {elapsed:?} vs {serial:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let run = Runtime::new(1).run(8, |_, _| Box::new(HeavyRank { spins: 10 }) as Machine);
+        assert_eq!(run.results.iter().sum::<usize>(), 8);
+        assert_eq!(run.stats.steals, 0);
+    }
+
     #[test]
     fn unrecv_requeues_at_front() {
         struct Requeue {
@@ -590,7 +752,8 @@ mod tests {
             }
         }
         let run = Runtime::new(1).run(2, |_, _| {
-            Box::new(Requeue { sent: false }) as Box<dyn VirtualRank<TestMsg, Output = usize>>
+            Box::new(Requeue { sent: false })
+                as Box<dyn VirtualRank<TestMsg, Output = usize> + Send>
         });
         assert_eq!(run.results[0], 2);
     }

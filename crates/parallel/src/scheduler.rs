@@ -31,21 +31,114 @@ use uq_mcmc::stats::VectorMoments;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain};
+use uq_mlmcmc::ledger::{self, LedgerLease, LedgerStats, PairingMode};
 use uq_mlmcmc::LevelFactory;
+
+/// RNG stream seed of the controller at `rank` (shared by the thread
+/// scheduler and the cooperative runtime so their chains are
+/// stream-identical on identical configs — the cross-backend parity
+/// tests reproduce it).
+pub fn controller_seed(base: u64, rank: usize) -> u64 {
+    base.wrapping_add(rank as u64 * 0x9E37_79B9)
+}
+
+/// Phonebook-side record of one requester's ledger session.
+pub(crate) struct LedgerSession {
+    pub seed: u64,
+    pub serves: u64,
+    pub pairing: Option<CoarseSample>,
+}
+
+/// The phonebook's per-requester session registry: the rewind ledger.
+/// Keyed by `(requester rank, coarse level)`; both phonebook
+/// implementations (thread scheduler and cooperative runtime) share it.
+#[derive(Default)]
+pub(crate) struct LedgerBook {
+    sessions: std::collections::HashMap<(usize, usize), LedgerSession>,
+    pub stats: LedgerStats,
+}
+
+impl LedgerBook {
+    /// Build the lease for the next serve of `(reply_to, level)`,
+    /// opening the session on first contact.
+    pub fn lease(
+        &mut self,
+        base_seed: u64,
+        level: usize,
+        reply_to: usize,
+        anchor: CoarseSample,
+    ) -> Box<LedgerLease> {
+        let stats = &mut self.stats;
+        let session = self.sessions.entry((reply_to, level)).or_insert_with(|| {
+            stats.sessions += 1;
+            LedgerSession {
+                seed: ledger::session_seed(base_seed, level, reply_to as u64),
+                serves: 0,
+                pairing: None,
+            }
+        });
+        stats.serves += 1;
+        Box::new(LedgerLease {
+            session_seed: session.seed,
+            serves: session.serves,
+            pairing: session.pairing.clone(),
+            anchor,
+        })
+    }
+
+    /// Apply a serve's write-back.
+    pub fn update(
+        &mut self,
+        requester: usize,
+        level: usize,
+        serves: u64,
+        pairing: CoarseSample,
+        diverged: bool,
+    ) {
+        self.stats.diverged += usize::from(diverged);
+        if let Some(session) = self.sessions.get_mut(&(requester, level)) {
+            session.serves = serves;
+            session.pairing = Some(pairing);
+        }
+    }
+
+    /// Drop a requester's sessions (its chain was rebuilt by a
+    /// reassignment; the fresh chain starts a fresh logical subchain).
+    pub fn forget_requester(&mut self, requester: usize) {
+        self.sessions.retain(|&(r, _), _| r != requester);
+    }
+}
 
 /// Messages exchanged between ranks.
 #[derive(Clone, Debug)]
 pub enum Msg {
-    /// Requester → phonebook: need one coarse sample from `level`.
-    CoarseRequest { level: usize, reply_to: usize },
-    /// Phonebook → serving controller: serve `reply_to` one sample.
-    Serve { reply_to: usize },
-    /// Serving controller → requester.
+    /// Requester → phonebook: need one coarse sample from `level`,
+    /// generated from the requester's current rewind `anchor`.
+    CoarseRequest {
+        level: usize,
+        reply_to: usize,
+        anchor: Box<CoarseSample>,
+    },
+    /// Phonebook → serving controller: execute one ledger serve for
+    /// `reply_to` (the lease carries the session state and anchor).
+    Serve {
+        reply_to: usize,
+        lease: Box<LedgerLease>,
+    },
+    /// Serving controller → requester: the served proposal (its `mate`
+    /// field carries the ledger pairing state).
     CoarseSample {
         level: usize,
-        theta: Vec<f64>,
-        log_density: f64,
-        qoi: Vec<f64>,
+        sample: Box<CoarseSample>,
+    },
+    /// Serving controller → phonebook: write-back of the session state
+    /// advanced by a completed serve.
+    LedgerUpdate {
+        requester: usize,
+        level: usize,
+        serves: u64,
+        pairing: Box<CoarseSample>,
+        diverged: bool,
     },
     /// Teardown answer to a request that can no longer be served.
     Poison,
@@ -109,6 +202,9 @@ pub struct ParallelConfig {
     pub record_samples: bool,
     /// Base RNG seed (each controller derives its own stream).
     pub seed: u64,
+    /// Which coarse stream the correction moments pair against (see
+    /// [`uq_mlmcmc::ledger::PairingMode`]).
+    pub pairing: PairingMode,
 }
 
 impl ParallelConfig {
@@ -122,6 +218,13 @@ impl ParallelConfig {
             load_balancing: true,
             record_samples: false,
             seed: 7,
+            // the parallel backends default to the unbiased ledger
+            // pairing: their pre-ledger serving was effectively unbiased
+            // (independent stationary draws), so the proposal pairing's
+            // O(contraction^ρ) bias would be a correctness regression
+            // here. The sequential driver keeps the low-variance proposal
+            // pairing by default — see DESIGN.md §5.
+            pairing: PairingMode::Ledger,
         }
     }
 
@@ -215,19 +318,16 @@ struct RemoteCoarseSource {
 }
 
 impl CoarseProposalSource for RemoteCoarseSource {
-    // Remote sources deliberately ignore the rewind anchor: proposals are
-    // served by independent long-running chains that advance at least the
-    // subsampling stride between requests (and typically much more, since
-    // several requesters share each server), so consecutive proposals are
-    // effectively independent stationary draws — the independence-
-    // proposal limit of the Algorithm-2 acceptance (see uq-mlmcmc's
-    // coupled-kernel docs).
+    // The request ships the requester's rewind anchor; the phonebook
+    // attaches this requester's ledger lease and a serving controller
+    // executes the serve (per-requester exactness rewind + autonomous
+    // pairing track — see uq-mlmcmc's ledger docs).
     //
     // This source blocks its OS-thread rank inside `recv_match` (the
     // thread scheduler dedicates a thread per rank), so it is always
     // `Ready`; the cooperative runtime's controllers use
     // `PendingCoarseSource` and suspend instead.
-    fn request_coarse(&mut self, _rng: &mut dyn Rng, _anchor: &CoarseSample) -> CoarseAcquire {
+    fn request_coarse(&mut self, _rng: &mut dyn Rng, anchor: &CoarseSample) -> CoarseAcquire {
         if self.stop.load(Ordering::Relaxed) {
             return CoarseAcquire::Ready(poison_sample());
         }
@@ -237,6 +337,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
             Msg::CoarseRequest {
                 level: self.coarse_level,
                 reply_to: self.my_rank,
+                anchor: Box::new(anchor.clone()),
             },
         );
         let want_level = self.coarse_level;
@@ -247,17 +348,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
             ) || matches!(e.msg, Msg::Poison | Msg::Shutdown)
         });
         CoarseAcquire::Ready(match env.msg {
-            Msg::CoarseSample {
-                theta,
-                log_density,
-                qoi,
-                ..
-            } => CoarseSample {
-                theta,
-                log_density,
-                qoi,
-                sub_anchor: None,
-            },
+            Msg::CoarseSample { sample, .. } => *sample,
             Msg::Shutdown => {
                 // let the controller loop observe the shutdown too
                 ctx.unrecv(env);
@@ -272,24 +363,18 @@ impl CoarseProposalSource for RemoteCoarseSource {
     }
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
-        CoarseSample {
-            theta: theta.to_vec(),
-            log_density: self.coarse_problem.log_density(theta),
-            qoi: self.coarse_problem.qoi(theta),
-            sub_anchor: None,
-        }
+        CoarseSample::plain(
+            theta.to_vec(),
+            self.coarse_problem.log_density(theta),
+            self.coarse_problem.qoi(theta),
+        )
     }
 }
 
 /// Sentinel sample returned during teardown; its `-∞` density forces a
 /// rejection, so the chain state stays valid.
 pub(crate) fn poison_sample() -> CoarseSample {
-    CoarseSample {
-        theta: Vec::new(),
-        log_density: f64::NEG_INFINITY,
-        qoi: Vec::new(),
-        sub_anchor: None,
-    }
+    CoarseSample::plain(Vec::new(), f64::NEG_INFINITY, Vec::new())
 }
 
 const ROOT: usize = 0;
@@ -396,7 +481,9 @@ fn root_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, start: Instant) ->
 fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Tracer) {
     let n_levels = config.n_levels();
     let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
-    let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
+    // queued requests: (requester, its rewind anchor)
+    let mut pending: Vec<VecDeque<(usize, Box<CoarseSample>)>> = vec![VecDeque::new(); n_levels];
+    let mut ledger = LedgerBook::default();
     let mut level_of: std::collections::HashMap<usize, usize> = (config.first_controller_rank()
         ..config.first_controller_rank() + config.chains_per_level.iter().sum::<usize>())
         .map(|rank| (rank, config.initial_level(rank)))
@@ -419,24 +506,37 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                     ema_interval[level] = 0.8 * ema_interval[level] + 0.2 * dt;
                 }
                 last_ready_at[level] = now;
-                if let Some(reply_to) = pending[level].pop_front() {
-                    ctx.send(env.from, Msg::Serve { reply_to });
+                if let Some((reply_to, anchor)) = pending[level].pop_front() {
+                    let lease = ledger.lease(config.seed, level, reply_to, *anchor);
+                    ctx.send(env.from, Msg::Serve { reply_to, lease });
                 } else {
                     ready[level].push_back(env.from);
                 }
             }
-            Msg::CoarseRequest { level, reply_to } => {
+            Msg::CoarseRequest {
+                level,
+                reply_to,
+                anchor,
+            } => {
                 if let Some(server) = ready[level].pop_front() {
-                    ctx.send(server, Msg::Serve { reply_to });
+                    let lease = ledger.lease(config.seed, level, reply_to, *anchor);
+                    ctx.send(server, Msg::Serve { reply_to, lease });
                 } else {
-                    pending[level].push_back(reply_to);
+                    pending[level].push_back((reply_to, anchor));
                 }
             }
+            Msg::LedgerUpdate {
+                requester,
+                level,
+                serves,
+                pairing,
+                diverged,
+            } => ledger.update(requester, level, serves, *pairing, diverged),
             Msg::LevelDone { level } => done[level] = true,
             Msg::Shutdown => {
                 // no more forwards: poison every queued request, ack, exit
                 for queue in &mut pending {
-                    for reply_to in queue.drain(..) {
+                    for (reply_to, _) in queue.drain(..) {
                         ctx.send(reply_to, Msg::Poison);
                     }
                 }
@@ -476,6 +576,9 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
         }
         if let Some(rank) = ready[donor_level].pop_front() {
             level_of.insert(rank, starved);
+            // the reassigned chain restarts from scratch: its ledger
+            // sessions (as a requester) are stale, drop them
+            ledger.forget_requester(rank);
             ctx.send(rank, Msg::Reassign { level: starved });
             // tell root so the final report counts reassignments
             ctx.send(ROOT, Msg::Reassign { level: starved });
@@ -617,7 +720,7 @@ fn controller_role(
         stop: Arc::clone(&stop),
         counters: (0..n_levels).map(|_| EvalCounter::new()).collect(),
     };
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(rank as u64 * 0x9E37_79B9));
+    let mut rng = StdRng::seed_from_u64(controller_seed(config.seed, rank));
     let mut done_levels = vec![false; n_levels];
 
     'levels: loop {
@@ -640,8 +743,7 @@ fn controller_role(
         let rho = factory.subsampling_rate(level).max(1);
         let is_top = level + 1 >= n_levels;
         let mut producing = !done_levels[level];
-        let mut pending_serves: VecDeque<usize> = VecDeque::new();
-        let mut steps_since_serve = rho; // warm chain counts as ready
+        let mut pending_serves: VecDeque<(usize, Box<LedgerLease>)> = VecDeque::new();
         let mut announced = false;
 
         loop {
@@ -656,7 +758,7 @@ fn controller_role(
                 };
                 let Some(env) = env else { break };
                 match env.msg {
-                    Msg::Serve { reply_to } => pending_serves.push_back(reply_to),
+                    Msg::Serve { reply_to, lease } => pending_serves.push_back((reply_to, lease)),
                     Msg::StopProducing { level: l } => {
                         done_levels[l] = true;
                         if l == level {
@@ -668,7 +770,7 @@ fn controller_role(
                         LEVEL.with(|l| l.set(Some(new_level)));
                         // poison anyone we promised to serve
                         let c = shared.lock();
-                        for reply_to in pending_serves.drain(..) {
+                        for (reply_to, _) in pending_serves.drain(..) {
                             c.send(reply_to, Msg::Poison);
                         }
                         drop(c);
@@ -684,61 +786,81 @@ fn controller_role(
                 break 'levels;
             }
 
-            let want_step = producing
-                || !pending_serves.is_empty()
-                || (!is_top && (!announced || steps_since_serve < rho));
-            if want_step {
+            // a requester is suspended on every queued serve: execute the
+            // ledger serves before advancing our own chain. The serve
+            // rewinds/continues the requester's session on this chain and
+            // restores our own trajectory afterwards (cached values only,
+            // no forward-model evaluations for the restores themselves).
+            if let Some((reply_to, lease)) = pending_serves.pop_front() {
+                let snapshot = chain.current_as_sample();
+                let serve_start = tracer.now();
+                let out = ledger::serve(&mut chain, rho, &lease);
+                tracer.record(rank, SpanKind::Serve { level }, serve_start, tracer.now());
+                chain.restore(&snapshot);
+                let c = shared.lock();
+                c.send(
+                    reply_to,
+                    Msg::CoarseSample {
+                        level,
+                        sample: Box::new(out.proposal),
+                    },
+                );
+                c.send(
+                    PHONEBOOK,
+                    Msg::LedgerUpdate {
+                        requester: reply_to,
+                        level,
+                        serves: lease.serves + 1,
+                        pairing: Box::new(out.pairing),
+                        diverged: out.diverged,
+                    },
+                );
+                // availability token consumed by the routed serve:
+                // re-announce so the phonebook can route us more work
+                c.send(PHONEBOOK, Msg::SampleReady { level });
+                drop(c);
+                announced = true;
+                continue;
+            }
+
+            if !announced && !is_top {
+                // announce serve availability (ρ is enforced inside the
+                // ledger serve, so no own-chain stride gating is needed)
+                let c = shared.lock();
+                c.send(PHONEBOOK, Msg::SampleReady { level });
+                drop(c);
+                announced = true;
+            }
+
+            if producing {
                 let eval_start = tracer.now();
                 chain.step(&mut rng);
                 tracer.record(rank, SpanKind::Eval { level }, eval_start, tracer.now());
                 if stop.load(Ordering::Relaxed) {
                     break 'levels;
                 }
-                steps_since_serve += 1;
-                if producing {
-                    let fine_qoi = chain.state().qoi.clone();
-                    let (y, coarse_qoi) = match chain.last_coarse() {
-                        None => (fine_qoi.clone(), None),
-                        Some(c) => (
-                            fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
-                            Some(c.qoi.clone()),
-                        ),
-                    };
-                    let c = shared.lock();
-                    c.send(
-                        collector_rank(level),
-                        Msg::Correction {
-                            level,
-                            y,
-                            theta: chain.state().theta.clone(),
-                            fine_qoi,
-                            coarse_qoi,
-                        },
-                    );
-                }
-                if steps_since_serve >= rho {
-                    if let Some(reply_to) = pending_serves.pop_front() {
-                        let s = chain.state();
-                        let c = shared.lock();
-                        c.send(
-                            reply_to,
-                            Msg::CoarseSample {
-                                level,
-                                theta: s.theta.clone(),
-                                log_density: s.log_density,
-                                qoi: s.qoi.clone(),
-                            },
-                        );
-                        drop(c);
-                        steps_since_serve = 0;
-                        announced = false;
-                    } else if !announced && !is_top {
-                        let c = shared.lock();
-                        c.send(PHONEBOOK, Msg::SampleReady { level });
-                        drop(c);
-                        announced = true;
-                    }
-                }
+                let fine_qoi = chain.state().qoi.clone();
+                let paired = match config.pairing {
+                    PairingMode::Proposal => chain.last_coarse(),
+                    PairingMode::Ledger => chain.last_pairing(),
+                };
+                let y = match paired {
+                    None => fine_qoi.clone(),
+                    Some(c) => fine_qoi.iter().zip(&c.qoi).map(|(f, cq)| f - cq).collect(),
+                };
+                // the recorded pair always shows the proposal coupling
+                let coarse_qoi = chain.last_coarse().map(|c| c.qoi.clone());
+                let c = shared.lock();
+                c.send(
+                    collector_rank(level),
+                    Msg::Correction {
+                        level,
+                        y,
+                        theta: chain.state().theta.clone(),
+                        fine_qoi,
+                        coarse_qoi,
+                    },
+                );
             } else {
                 // idle: block for the next message (handled next iteration)
                 let env = {
@@ -754,7 +876,7 @@ fn controller_role(
     // teardown: poison outstanding serve requests, then report
     let mut c = shared.lock();
     for env in c.drain() {
-        if let Msg::Serve { reply_to } = env.msg {
+        if let Msg::Serve { reply_to, .. } = env.msg {
             c.send(reply_to, Msg::Poison);
         }
     }

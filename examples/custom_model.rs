@@ -97,10 +97,11 @@ impl LevelFactory for LogisticHierarchy {
 
     fn starting_point(&self, _level: usize) -> Vec<f64> {
         // start near the coarse MAP (in practice: a cheap pilot
-        // optimization). The parallel scheduler's phonebook serves
-        // near-independent coarse states, so a start far outside the
-        // posterior bulk couples very slowly on this tight ridge — see
-        // DESIGN.md § "Known deviations and open items"
+        // optimization) so burn-in is short. Since PR 4 the phonebook
+        // serves through the per-requester rewind ledger — proposals
+        // walk from each chain's own anchor, so even a start far outside
+        // the posterior bulk mixes at the normal coupled acceptance rate
+        // (tests/ledger_exactness.rs pins this on a tighter ridge)
         vec![1.3, 1.8]
     }
 }

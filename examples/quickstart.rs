@@ -76,8 +76,11 @@ fn main() {
         report.levels[1].acceptance_rate, report.levels[1].iact
     );
     // tolerance covers both Monte Carlo noise and the finite-subsampling
-    // pairing bias of the sequential estimator (~0.04 here; see the
-    // "estimator pairing" note in DESIGN.md): the served coarse stream
-    // has marginal π_fine·K^ρ rather than π_coarse for finite ρ
+    // pairing bias of the sequential driver's default proposal pairing
+    // (~0.04 here): the served coarse stream has marginal π_fine·K^ρ
+    // rather than π_coarse for finite ρ. Opting into the rewind ledger's
+    // pairing (`MlmcmcConfig::with_pairing(PairingMode::Ledger)`) removes
+    // the bias at the price of higher correction variance — see the
+    // "estimator pairing" discussion in DESIGN.md §5
     assert!((report.expectation()[0] - 1.0).abs() < 0.1);
 }

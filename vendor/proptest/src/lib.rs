@@ -2,16 +2,20 @@
 //!
 //! Implements the subset the workspace's property tests use: the
 //! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], range and
-//! tuple [`Strategy`] values and [`collection::vec`]. Unlike the real
-//! proptest there is no shrinking — a failing case reports its case
-//! index and seed so it can be replayed via `PROPTEST_SEED`. The number
-//! of cases per property defaults to 64 and can be raised with
-//! `PROPTEST_CASES`.
+//! tuple [`Strategy`] values and [`collection::vec`]. Failing cases are
+//! **shrunk**: integer and float strategies shrink toward the range
+//! start, `Vec` strategies drop chunks/elements and shrink elements,
+//! tuples shrink component-wise — a greedy descent over
+//! [`Strategy::shrink`] candidates with a bounded budget, reporting the
+//! minimized case alongside the original seed so it can be replayed via
+//! `PROPTEST_SEED`. The number of cases per property defaults to 64 and
+//! can be raised with `PROPTEST_CASES`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
+use std::fmt::Debug;
 use std::ops::Range;
 
 /// Everything the property tests import.
@@ -46,8 +50,15 @@ impl std::fmt::Display for TestCaseError {
 pub trait Strategy {
     /// The generated value type.
     type Value;
+
     /// Draw one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// The default (no candidates) disables shrinking for the strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -58,6 +69,22 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty integer strategy range");
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let v = *value;
+                if v > self.start {
+                    // toward the range start: the minimum, then halving
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != self.start && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -75,32 +102,75 @@ macro_rules! signed_range_strategy {
                 let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
                 (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let v = *value;
+                // shrink toward zero if the range contains it, else
+                // toward the range start
+                let origin: $t = if self.start <= 0 && 0 < self.end { 0 } else { self.start };
+                if v != origin {
+                    out.push(origin);
+                    let mid = origin + (v - origin) / 2;
+                    if mid != origin && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
 signed_range_strategy!(i32, i64);
 
-impl Strategy for Range<f64> {
-    type Value = f64;
-    fn generate(&self, rng: &mut StdRng) -> f64 {
-        self.start + (self.end - self.start) * rng.random::<f64>()
-    }
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.start + (self.end - self.start) * rng.random::<$t>()
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let v = *value;
+                // shrink toward zero if in range, else the range start
+                let origin: $t = if self.start <= 0.0 && 0.0 < self.end { 0.0 } else { self.start };
+                if v != origin {
+                    out.push(origin);
+                    let mid = origin + (v - origin) / 2.0;
+                    if mid != origin && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
 }
 
-impl Strategy for Range<f32> {
-    type Value = f32;
-    fn generate(&self, rng: &mut StdRng) -> f32 {
-        self.start + (self.end - self.start) * rng.random::<f32>()
-    }
-}
+float_range_strategy!(f64, f32);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // component-wise: shrink one slot, keep the others fixed
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -157,12 +227,44 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
+
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let n = value.len();
+            // structural shrinks first: drop the back/front half, then
+            // single elements — as long as the length stays admissible
+            if n > self.size.lo {
+                let half = (n - self.size.lo).div_ceil(2);
+                out.push(value[..n - half].to_vec());
+                out.push(value[half..].to_vec());
+                if n >= 1 {
+                    out.push(value[1..].to_vec());
+                    out.push(value[..n - 1].to_vec());
+                }
+            }
+            // then element-wise shrinks (every candidate per position, so
+            // the greedy descent can reach boundary values)
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out.retain(|c| c.len() >= self.size.lo && c.len() < self.size.hi);
+            out.dedup_by(|a, b| a.len() == b.len() && a.iter().zip(b.iter()).count() == 0);
+            out
         }
     }
 }
@@ -180,8 +282,82 @@ fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
 }
 
-/// Run `body` over `PROPTEST_CASES` (default 64) generated cases.
-/// Deterministic per test name; `PROPTEST_SEED` replays a single case.
+/// Total body executions the greedy shrink descent may spend per failure.
+const SHRINK_BUDGET: usize = 512;
+
+/// Greedy shrink: repeatedly move to the first candidate that still
+/// fails, until no candidate fails or the budget runs out. Returns the
+/// minimized value and its failure.
+fn shrink_failure<S: Strategy, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: TestCaseError,
+    body: &mut F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut spent = 0usize;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if spent >= SHRINK_BUDGET {
+                break 'outer;
+            }
+            spent += 1;
+            if let Err(e) = body(cand.clone()) {
+                value = cand;
+                error = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, spent)
+}
+
+/// Run `body` over `PROPTEST_CASES` (default 64) cases generated from
+/// `strategy`; on failure, shrink to a minimal failing case and panic
+/// with both the minimized input and the replay seed. Deterministic per
+/// test name; `PROPTEST_SEED` replays a single case.
+pub fn run_cases_with<S, F>(test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Clone + Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut run_seed = |seed: u64, case: Option<(u64, u64)>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(e) = body(value.clone()) {
+            let (min_value, min_error, spent) = shrink_failure(strategy, value, e, &mut body);
+            match case {
+                Some((case, cases)) => panic!(
+                    "proptest `{test_name}` failed at case {case}/{cases}: {min_error}\n\
+                     minimized input (after {spent} shrink steps): {min_value:?}\n\
+                     replay with PROPTEST_SEED={seed}"
+                ),
+                None => panic!(
+                    "proptest `{test_name}` failed under PROPTEST_SEED={seed}: {min_error}\n\
+                     minimized input (after {spent} shrink steps): {min_value:?}"
+                ),
+            }
+        }
+    };
+    if let Some(seed) = env_u64("PROPTEST_SEED") {
+        run_seed(seed, None);
+        return;
+    }
+    let cases = env_u64("PROPTEST_CASES").unwrap_or(64);
+    let base = fnv1a(test_name.as_bytes());
+    for case in 0..cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        run_seed(seed, Some((case, cases)));
+    }
+}
+
+/// Back-compat driver for bodies that draw straight from an RNG (no
+/// strategy, hence no shrinking).
 pub fn run_cases<F>(test_name: &str, mut body: F)
 where
     F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
@@ -208,19 +384,22 @@ where
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running the body over generated inputs.
+/// becomes a `#[test]` running the body over generated inputs, with
+/// failing cases minimized via [`Strategy::shrink`].
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::run_cases(stringify!($name), |__proptest_rng| {
-                    $( let $arg = $crate::Strategy::generate(&($strat), __proptest_rng); )*
-                    let __proptest_out: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
-                    __proptest_out
-                });
+                let __proptest_strategy = ($( ($strat), )*);
+                $crate::run_cases_with(
+                    stringify!($name),
+                    &__proptest_strategy,
+                    |($($arg,)*)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        (|| { $body ::std::result::Result::Ok(()) })()
+                    },
+                );
             }
         )*
     };
@@ -292,5 +471,71 @@ mod tests {
         crate::run_cases("always_fails", |_rng| {
             Err(crate::TestCaseError::fail("nope"))
         });
+    }
+
+    #[test]
+    fn integers_shrink_to_range_start() {
+        // property "n < 14" fails for n in 14..100; the minimal failing
+        // value is exactly 14
+        let strategy = (5usize..100,);
+        let mut min_seen = usize::MAX;
+        let mut failed = false;
+        for seed in 0..64u64 {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let v = crate::Strategy::generate(&strategy, &mut rng);
+            let mut body = |(n,): (usize,)| -> Result<(), crate::TestCaseError> {
+                crate::prop_assert!(n < 14, "too big: {n}");
+                Ok(())
+            };
+            if let Err(e) = body(v) {
+                failed = true;
+                let (minimized, _, _) = crate::shrink_failure(&strategy, v, e, &mut body);
+                min_seen = min_seen.min(minimized.0);
+            }
+        }
+        assert!(failed, "some case must exceed 14");
+        assert_eq!(min_seen, 14, "shrinking must reach the boundary");
+    }
+
+    #[test]
+    fn vectors_shrink_structurally_and_elementwise() {
+        // property "no element >= 50" — minimal failing case is a single
+        // element, itself shrunk to the boundary
+        let strategy = crate::collection::vec(0u64..100, 1..20);
+        let mut best_len = usize::MAX;
+        let mut best_max = u64::MAX;
+        let mut failed = false;
+        for seed in 0..64u64 {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let v = crate::Strategy::generate(&strategy, &mut rng);
+            let mut body = |v: Vec<u64>| -> Result<(), crate::TestCaseError> {
+                crate::prop_assert!(v.iter().all(|&e| e < 50), "big element");
+                Ok(())
+            };
+            if let Err(e) = body(v.clone()) {
+                failed = true;
+                let (minimized, _, _) = crate::shrink_failure(&strategy, v, e, &mut body);
+                if minimized.len() < best_len {
+                    best_len = minimized.len();
+                    best_max = minimized.iter().copied().max().unwrap_or(0);
+                }
+            }
+        }
+        assert!(failed);
+        assert_eq!(best_len, 1, "a single offending element must remain");
+        assert_eq!(best_max, 50, "the element must shrink to the boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized input")]
+    fn macro_reports_minimized_input() {
+        proptest! {
+            fn inner(n in 0usize..1000) {
+                prop_assert!(n < 10, "n = {n}");
+            }
+        }
+        inner();
     }
 }
