@@ -135,6 +135,8 @@ fn bench_des(c: &mut Criterion) {
         seed: 4,
         ledger: false,
         ledger_pairing_overhead: 0.0,
+        spec_hit_rate: 0.0,
+        spec_waste: 0.0,
     };
     c.bench_function("des_poisson_schedule_44chains", |b| {
         b.iter(|| black_box(simulate(&cfg)));

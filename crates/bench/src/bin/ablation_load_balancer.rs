@@ -43,6 +43,8 @@ fn main() {
                 seed: args.seed,
                 ledger: false,
                 ledger_pairing_overhead: 0.0,
+                spec_hit_rate: 0.0,
+                spec_waste: 0.0,
             };
             let r = simulate(&cfg);
             makespans[k] = r.makespan;

@@ -46,6 +46,8 @@ fn main() {
             seed: args.seed,
             ledger: false,
             ledger_pairing_overhead: 0.0,
+            spec_hit_rate: 0.0,
+            spec_waste: 0.0,
         };
         let r = simulate(&cfg);
         let base = *t32.get_or_insert(r.makespan * ranks_list[0] as f64);

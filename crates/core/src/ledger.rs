@@ -49,6 +49,7 @@
 use crate::coupled::{CoarseSample, MlChain};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
 
 /// Which coarse stream the telescoping estimator pairs corrections with.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -90,6 +91,20 @@ pub fn session_seed(base: u64, coarse_level: usize, requester: u64) -> u64 {
 /// the mate stays coupled to the proposal without acceptance feedback.
 pub fn leg_seed(session_seed: u64, serve_index: u64) -> u64 {
     mix(session_seed ^ serve_index.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Salt a session seed with the session's **generation**: a requester
+/// whose session was dropped by a migration (`LedgerBook::forget_requester`)
+/// and later re-opened must not replay the substreams of its previous
+/// life, so each re-opened session advances a generation counter.
+/// Generation 0 is the identity, preserving the cross-backend parity of
+/// first-generation sessions (the bit-parity suites pin that).
+pub fn generation_seed(session_seed: u64, generation: u64) -> u64 {
+    if generation == 0 {
+        session_seed
+    } else {
+        mix(session_seed ^ generation.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
 }
 
 /// Everything a (stateless) server needs to execute one serve of a
@@ -188,22 +203,392 @@ pub fn serve(chain: &mut MlChain, rho: usize, lease: &LedgerLease) -> ServeOutco
 /// the run).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LedgerStats {
-    /// Sessions opened (one per requester/coarse-level pair).
+    /// Sessions opened (one per requester/coarse-level pair and
+    /// generation).
     pub sessions: usize,
-    /// Serves executed through the ledger.
+    /// Serves committed to a session (real serves plus speculative
+    /// hits).
     pub serves: usize,
-    /// Serves whose pairing track had diverged from the anchor (each
-    /// costs a second `ρ`-step leg on the server).
+    /// Committed serves whose pairing track had diverged from the anchor
+    /// (each costs a second `ρ`-step leg on the server).
     pub diverged: usize,
+    /// Speculative serves dispatched to idle servers.
+    pub spec_launched: usize,
+    /// Requests answered from a stored speculation (the serve never
+    /// touched the requester's critical path).
+    pub spec_hits: usize,
+    /// Speculations discarded: anchor mismatch at commit time, or a
+    /// speculative outcome arriving after its stream position was
+    /// already served for real.
+    pub spec_misses: usize,
 }
 
 impl LedgerStats {
-    /// Fraction of serves that needed the separate pairing leg.
+    /// Fraction of committed serves that needed the separate pairing leg.
     pub fn diverged_fraction(&self) -> f64 {
         if self.serves == 0 {
             0.0
         } else {
             self.diverged as f64 / self.serves as f64
+        }
+    }
+
+    /// Fraction of committed serves answered from a speculation.
+    pub fn hit_rate(&self) -> f64 {
+        if self.serves == 0 {
+            0.0
+        } else {
+            self.spec_hits as f64 / self.serves as f64
+        }
+    }
+
+    /// Wasted speculative serve-legs per committed serve (the extra
+    /// server work speculation spends on discards) — the DES `spec_waste`
+    /// input.
+    pub fn waste_per_serve(&self) -> f64 {
+        if self.serves == 0 {
+            0.0
+        } else {
+            self.spec_launched.saturating_sub(self.spec_hits) as f64 / self.serves as f64
+        }
+    }
+}
+
+/// A completed speculative serve parked at the phonebook, awaiting the
+/// requester's next `CoarseRequest`.
+#[derive(Clone, Debug)]
+struct Speculation {
+    /// Stream position the speculation was computed for; valid only
+    /// while it equals the session's `serves`.
+    serves: u64,
+    outcome: ServeOutcome,
+}
+
+/// Phonebook-side record of one requester's ledger session.
+#[derive(Clone, Debug)]
+struct LedgerSession {
+    seed: u64,
+    serves: u64,
+    pairing: Option<CoarseSample>,
+    /// Accept-case prediction of the requester's next anchor: the last
+    /// served proposal (mate stripped). A speculation serves exactly
+    /// this anchor; the requester's next request matches it bit-for-bit
+    /// whenever the served proposal was accepted (and also after a
+    /// full-rejection serve that ended where it started).
+    next_anchor: Option<CoarseSample>,
+    /// Stream position a dispatched speculative serve is computing
+    /// (`None` when no speculation is in flight).
+    spec_inflight: Option<u64>,
+    /// A stored speculation awaiting commit or discard.
+    spec: Option<Speculation>,
+    /// Exponential miss backoff: consecutive misses double it, a hit
+    /// resets it. While > 0, that many write-backs pass before the
+    /// session becomes a speculation candidate again — reject-heavy
+    /// sessions stop burning wasted serve legs, accept streaks keep
+    /// full speculation throughput.
+    spec_backoff: u32,
+    /// Write-backs left to skip before re-candidacy (loaded from
+    /// `spec_backoff` after a miss).
+    spec_cooldown: u32,
+    /// A real serve of the current stream position is outstanding (lease
+    /// issued, write-back not yet applied). While set, commits are
+    /// refused: the phonebooks' messaging order (write-back enqueued
+    /// before the proposal reaches the requester) makes this state
+    /// unreachable from a request, but the book defends the no-replay
+    /// invariant on its own.
+    real_inflight: bool,
+}
+
+/// Cap on the per-session speculation miss backoff (write-backs skipped
+/// between speculation attempts after repeated misses).
+const SPEC_BACKOFF_CAP: u32 = 16;
+
+/// The phonebook's per-requester session registry — the rewind ledger
+/// plus its speculation store. Keyed by `(requester rank, coarse
+/// level)`; both parallel phonebooks (thread scheduler and cooperative
+/// runtime) drive the same book, which is what keeps their serves
+/// comparable bit-for-bit.
+///
+/// ## Speculation protocol
+///
+/// A serve's write-back records the served proposal as the session's
+/// *predicted next anchor* (the accept case). While a server is idle
+/// and no real request is queued anywhere, the phonebook may dispatch a
+/// **speculative serve** for the predicted lease
+/// ([`speculative_lease`](Self::speculative_lease)); the completed
+/// outcome is parked ([`store_speculation`](Self::store_speculation))
+/// and the next `CoarseRequest` whose anchor matches the prediction is
+/// answered from it directly ([`try_commit`](Self::try_commit)) —
+/// bit-for-bit what a fresh serve of the same lease would produce,
+/// because serves are pure functions of the lease. A mismatching or
+/// stale speculation is discarded without touching session state, so a
+/// miss has **zero statistical effect**: the real serve that follows
+/// derives the identical substream from `(session_seed, serves)`.
+#[derive(Default)]
+pub struct LedgerBook {
+    sessions: HashMap<(usize, usize), LedgerSession>,
+    /// Per-key generation counters; survive `forget_requester` so
+    /// re-opened sessions never replay substreams (see
+    /// [`generation_seed`]).
+    generations: HashMap<(usize, usize), u64>,
+    /// Sessions eligible for a speculative serve, per coarse level
+    /// (lazily validated at pop time).
+    candidates: HashMap<usize, VecDeque<usize>>,
+    /// Aggregate counters, reported with the run.
+    pub stats: LedgerStats,
+}
+
+impl LedgerBook {
+    /// Build the lease for the next **real** serve of
+    /// `(reply_to, level)`, opening the session on first contact.
+    pub fn lease(
+        &mut self,
+        base_seed: u64,
+        level: usize,
+        reply_to: usize,
+        anchor: CoarseSample,
+    ) -> Box<LedgerLease> {
+        let stats = &mut self.stats;
+        let generation = self
+            .generations
+            .get(&(reply_to, level))
+            .copied()
+            .unwrap_or(0);
+        let session = self.sessions.entry((reply_to, level)).or_insert_with(|| {
+            stats.sessions += 1;
+            LedgerSession {
+                seed: generation_seed(session_seed(base_seed, level, reply_to as u64), generation),
+                serves: 0,
+                pairing: None,
+                next_anchor: None,
+                spec_inflight: None,
+                spec: None,
+                spec_backoff: 0,
+                spec_cooldown: 0,
+                real_inflight: false,
+            }
+        });
+        session.real_inflight = true;
+        Box::new(LedgerLease {
+            session_seed: session.seed,
+            serves: session.serves,
+            pairing: session.pairing.clone(),
+            anchor,
+        })
+    }
+
+    /// Apply a **real** serve's write-back: advance the stream position,
+    /// store the pairing state, record the served proposal as the
+    /// accept-case prediction and invalidate any speculation overtaken
+    /// by this serve. `session_seed` is echoed from the lease the serve
+    /// executed; a write-back whose seed does not match the open session
+    /// belongs to a dead generation (a migration raced the serve) and is
+    /// dropped, as is one whose stream position already advanced.
+    pub fn write_back(
+        &mut self,
+        requester: usize,
+        level: usize,
+        session_seed: u64,
+        serves: u64,
+        outcome: &ServeOutcome,
+    ) {
+        let Some(session) = self.sessions.get_mut(&(requester, level)) else {
+            return;
+        };
+        if session.seed != session_seed {
+            // dead-generation write-back: the session this serve
+            // belonged to no longer exists
+            return;
+        }
+        session.real_inflight = false;
+        if serves <= session.serves {
+            // stale write-back: the stream position already advanced
+            return;
+        }
+        // a serve counts only once its write-back commits (poisoned or
+        // dead-generation serves never inflate hit_rate/waste_per_serve)
+        self.stats.serves += 1;
+        self.stats.diverged += usize::from(outcome.diverged);
+        session.serves = serves;
+        session.pairing = Some(outcome.pairing.clone());
+        let mut predicted = outcome.proposal.clone();
+        predicted.mate = None;
+        session.next_anchor = Some(predicted);
+        if session.spec.take().is_some() {
+            self.stats.spec_misses += 1;
+            session.spec_backoff = (session.spec_backoff * 2 + 1).min(SPEC_BACKOFF_CAP);
+            session.spec_cooldown = session.spec_backoff;
+        }
+        // an in-flight speculation for an older position can never be
+        // stored now; forget it so the session may speculate again even
+        // if its outcome message was dropped at a teardown
+        if session.spec_inflight.is_some_and(|idx| idx < serves) {
+            session.spec_inflight = None;
+        }
+        // miss backoff: reject-heavy sessions sit out a stretch of
+        // serves before speculation retries, so waste stays bounded
+        if session.spec_cooldown > 0 {
+            session.spec_cooldown -= 1;
+        } else {
+            self.push_candidate(level, requester);
+        }
+    }
+
+    /// Dispatchable speculative work on `level`: the lease of an
+    /// accept-case serve for some session with a predicted anchor and
+    /// no speculation already in flight or stored. Returns the
+    /// requester the speculation belongs to alongside the lease.
+    pub fn speculative_lease(&mut self, level: usize) -> Option<(usize, Box<LedgerLease>)> {
+        let queue = self.candidates.get_mut(&level)?;
+        while let Some(requester) = queue.pop_front() {
+            let Some(session) = self.sessions.get_mut(&(requester, level)) else {
+                continue;
+            };
+            // a session already speculating, holding a stored outcome,
+            // or with a real serve of this position in flight would only
+            // produce a guaranteed-discarded duplicate
+            if session.spec_inflight.is_some() || session.spec.is_some() || session.real_inflight {
+                continue;
+            }
+            let Some(anchor) = session.next_anchor.clone() else {
+                continue;
+            };
+            session.spec_inflight = Some(session.serves);
+            self.stats.spec_launched += 1;
+            return Some((
+                requester,
+                Box::new(LedgerLease {
+                    session_seed: session.seed,
+                    serves: session.serves,
+                    pairing: session.pairing.clone(),
+                    anchor,
+                }),
+            ));
+        }
+        None
+    }
+
+    /// Park a completed speculative serve. Returns `false` (counting a
+    /// miss) if the speculation went stale while in flight — its stream
+    /// position was served for real, or the session migrated away
+    /// (`session_seed` mismatch, echoed from the speculative lease).
+    pub fn store_speculation(
+        &mut self,
+        requester: usize,
+        level: usize,
+        session_seed: u64,
+        serves: u64,
+        outcome: ServeOutcome,
+    ) -> bool {
+        let position = serves.saturating_sub(1);
+        let Some(session) = self.sessions.get_mut(&(requester, level)) else {
+            self.stats.spec_misses += 1;
+            return false;
+        };
+        if session.seed != session_seed {
+            self.stats.spec_misses += 1;
+            return false;
+        }
+        if session.spec_inflight == Some(position) {
+            session.spec_inflight = None;
+        }
+        if session.serves == position && session.spec.is_none() {
+            session.spec = Some(Speculation {
+                serves: position,
+                outcome,
+            });
+            true
+        } else {
+            // overtaken while in flight (the speculation lost a race
+            // with a real serve): back off like any other miss, so a
+            // session whose requests persistently outrun its
+            // speculations stops burning duplicate legs
+            self.stats.spec_misses += 1;
+            session.spec_backoff = (session.spec_backoff * 2 + 1).min(SPEC_BACKOFF_CAP);
+            session.spec_cooldown = session.spec_backoff;
+            false
+        }
+    }
+
+    /// Answer a `CoarseRequest` from the stored speculation if its
+    /// stream position is current and its anchor matches the incoming
+    /// one bit-for-bit. On a hit the session advances exactly as a real
+    /// write-back would and the precomputed proposal (pairing mate
+    /// piggybacked) is returned for direct delivery; on a miss the
+    /// speculation is discarded with session state untouched.
+    pub fn try_commit(
+        &mut self,
+        requester: usize,
+        level: usize,
+        anchor: &CoarseSample,
+    ) -> Option<CoarseSample> {
+        let session = self.sessions.get_mut(&(requester, level))?;
+        if session.real_inflight {
+            // a real serve of this position is outstanding; its
+            // write-back must land before anything may commit — leave
+            // the speculation for the write-back to reconcile
+            return None;
+        }
+        let spec = session.spec.take()?;
+        let valid = spec.serves == session.serves
+            && session
+                .next_anchor
+                .as_ref()
+                .is_some_and(|predicted| predicted.theta == anchor.theta);
+        if !valid {
+            self.stats.spec_misses += 1;
+            session.spec_backoff = (session.spec_backoff * 2 + 1).min(SPEC_BACKOFF_CAP);
+            session.spec_cooldown = session.spec_backoff;
+            return None;
+        }
+        session.serves += 1;
+        session.pairing = Some(spec.outcome.pairing.clone());
+        let mut predicted = spec.outcome.proposal.clone();
+        predicted.mate = None;
+        session.next_anchor = Some(predicted);
+        self.stats.serves += 1;
+        self.stats.spec_hits += 1;
+        self.stats.diverged += usize::from(spec.outcome.diverged);
+        // a hit clears the miss backoff: accept streaks chain
+        // speculations back-to-back
+        session.spec_backoff = 0;
+        session.spec_cooldown = 0;
+        self.push_candidate(level, requester);
+        Some(spec.outcome.proposal)
+    }
+
+    /// Drop a requester's sessions (its chain was rebuilt by a
+    /// reassignment; the fresh chain starts a fresh logical subchain)
+    /// and advance their generations so re-opened sessions derive new
+    /// substreams.
+    pub fn forget_requester(&mut self, requester: usize) {
+        let dropped: Vec<(usize, usize)> = self
+            .sessions
+            .keys()
+            .filter(|&&(r, _)| r == requester)
+            .copied()
+            .collect();
+        for key in dropped {
+            self.sessions.remove(&key);
+            *self.generations.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Stream position of `(requester, level)`'s session, if open.
+    pub fn session_serves(&self, requester: usize, level: usize) -> Option<u64> {
+        self.sessions.get(&(requester, level)).map(|s| s.serves)
+    }
+
+    /// Session-stream seed of `(requester, level)`, if open (exposed so
+    /// the fuzz/parity suites can pin generation separation).
+    pub fn session_seed_of(&self, requester: usize, level: usize) -> Option<u64> {
+        self.sessions.get(&(requester, level)).map(|s| s.seed)
+    }
+
+    fn push_candidate(&mut self, level: usize, requester: usize) {
+        let queue = self.candidates.entry(level).or_default();
+        if !queue.contains(&requester) {
+            queue.push_back(requester);
         }
     }
 }
@@ -326,5 +711,130 @@ mod tests {
         s.serves = 4;
         s.diverged = 1;
         assert!((s.diverged_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_report_hit_rate_and_waste() {
+        let mut s = LedgerStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.waste_per_serve(), 0.0);
+        s.serves = 10;
+        s.spec_launched = 6;
+        s.spec_hits = 4;
+        s.spec_misses = 2;
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.waste_per_serve() - 0.2).abs() < 1e-12);
+    }
+
+    /// Drive one full speculation round through a [`LedgerBook`]:
+    /// real serve → write-back → speculative serve → store → commit.
+    #[test]
+    fn speculation_commit_is_bit_identical_to_the_real_serve() {
+        let mut chain = base_chain(0.1, 0.9);
+        let mut book = LedgerBook::default();
+        let requester = 7usize;
+        let a0 = anchor(&mut chain, 0.0);
+
+        // real serve 0
+        let lease = book.lease(3, 0, requester, a0);
+        let out = serve(&mut chain, 2, &lease);
+        book.write_back(requester, 0, lease.session_seed, 1, &out);
+        assert_eq!(book.session_serves(requester, 0), Some(1));
+
+        // the book now offers the accept-case speculation for serve 1
+        let (spec_for, spec_lease) = book
+            .speculative_lease(0)
+            .expect("candidate after write-back");
+        assert_eq!(spec_for, requester);
+        assert_eq!(spec_lease.serves, 1);
+        assert_eq!(spec_lease.anchor.theta, out.proposal.theta);
+        let spec_out = serve(&mut chain, 2, &spec_lease);
+        assert!(book.store_speculation(requester, 0, spec_lease.session_seed, 2, spec_out.clone()));
+
+        // the requester accepted: its next request carries the served
+        // proposal as anchor — commit must return the speculative
+        // outcome and advance the session exactly like a real serve
+        let mut accepted_anchor = out.proposal.clone();
+        accepted_anchor.mate = None;
+        let committed = book
+            .try_commit(requester, 0, &accepted_anchor)
+            .expect("matching anchor must hit");
+        assert_eq!(committed.theta, spec_out.proposal.theta);
+        assert_eq!(book.session_serves(requester, 0), Some(2));
+        assert_eq!(book.stats.spec_hits, 1);
+        // and the committed serve is bit-identical to what a fresh real
+        // serve of the same lease would have produced
+        let replay = serve(&mut chain, 2, &spec_lease);
+        assert_eq!(committed.theta, replay.proposal.theta);
+        assert_eq!(committed.log_density, replay.proposal.log_density);
+    }
+
+    #[test]
+    fn mismatched_anchor_discards_speculation_without_side_effects() {
+        let mut chain = base_chain(0.0, 1.0);
+        let mut book = LedgerBook::default();
+        let requester = 2usize;
+        let lease = book.lease(5, 0, requester, anchor(&mut chain, 0.0));
+        let out = serve(&mut chain, 2, &lease);
+        book.write_back(requester, 0, lease.session_seed, 1, &out);
+        let (_, spec_lease) = book.speculative_lease(0).expect("candidate");
+        let spec_out = serve(&mut chain, 2, &spec_lease);
+        assert!(book.store_speculation(requester, 0, spec_lease.session_seed, 2, spec_out));
+
+        // the requester rejected: its anchor is NOT the served proposal
+        let rejected_anchor = anchor(&mut chain, 0.0);
+        assert!(book.try_commit(requester, 0, &rejected_anchor).is_none());
+        assert_eq!(book.stats.spec_misses, 1);
+        // session untouched: the real serve that follows reuses the same
+        // stream position and substream
+        assert_eq!(book.session_serves(requester, 0), Some(1));
+        let real = book.lease(5, 0, requester, rejected_anchor);
+        assert_eq!(real.serves, 1);
+        assert_eq!(real.session_seed, spec_lease.session_seed);
+    }
+
+    #[test]
+    fn stale_speculation_and_dead_generation_write_backs_are_dropped() {
+        let mut chain = base_chain(0.3, 0.8);
+        let mut book = LedgerBook::default();
+        let requester = 4usize;
+        let lease = book.lease(9, 0, requester, anchor(&mut chain, 0.1));
+        let out = serve(&mut chain, 3, &lease);
+        book.write_back(requester, 0, lease.session_seed, 1, &out);
+        let (_, spec_lease) = book.speculative_lease(0).expect("candidate");
+        let spec_out = serve(&mut chain, 3, &spec_lease);
+
+        // a real serve for the same position commits first (raced)
+        let real = book.lease(9, 0, requester, anchor(&mut chain, 0.2));
+        assert_eq!(real.serves, 1);
+        let real_out = serve(&mut chain, 3, &real);
+        book.write_back(requester, 0, real.session_seed, 2, &real_out);
+        // the speculative outcome is now stale and must be discarded
+        assert!(!book.store_speculation(requester, 0, spec_lease.session_seed, 2, spec_out));
+        assert_eq!(book.session_serves(requester, 0), Some(2));
+
+        // a dead-generation write-back must not resurrect old positions
+        let old_seed = real.session_seed;
+        book.forget_requester(requester);
+        let fresh = book.lease(9, 0, requester, anchor(&mut chain, 0.0));
+        assert_eq!(fresh.serves, 0);
+        assert_ne!(
+            fresh.session_seed, old_seed,
+            "generations must not share seeds"
+        );
+        book.write_back(requester, 0, old_seed, 2, &real_out);
+        assert_eq!(
+            book.session_serves(requester, 0),
+            Some(0),
+            "old-generation write-back must be a no-op"
+        );
+    }
+
+    #[test]
+    fn generation_seed_is_identity_at_generation_zero() {
+        let s = session_seed(7, 1, 3);
+        assert_eq!(generation_seed(s, 0), s);
+        assert_ne!(generation_seed(s, 1), s);
+        assert_ne!(generation_seed(s, 1), generation_seed(s, 2));
     }
 }

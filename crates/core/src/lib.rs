@@ -35,4 +35,4 @@ pub mod ledger;
 pub use coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain, StepOutcome};
 pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};
 pub use factory::LevelFactory;
-pub use ledger::{LedgerLease, LedgerStats, PairingMode};
+pub use ledger::{LedgerBook, LedgerLease, LedgerStats, PairingMode};

@@ -13,7 +13,7 @@
 //! saturation, Fig. 12) without needing the hardware.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use uq_linalg::prob::standard_normal;
@@ -61,6 +61,19 @@ pub struct DesConfig {
     /// live run's measured `LedgerStats::diverged_fraction` (≈ 1 once
     /// sessions have diverged, which happens at the first rejection).
     pub ledger_pairing_overhead: f64,
+    /// Fraction of ledger serves answered from a **speculative**
+    /// precomputation (PR 5): the serve's work was done by an idle
+    /// server ahead of the request, so it costs the requester only the
+    /// phonebook handoff instead of `ρ(1 + diverged)` dedicated server
+    /// evaluations — feed the live run's measured
+    /// `LedgerStats::hit_rate`. Only meaningful with `ledger`.
+    pub spec_hit_rate: f64,
+    /// Wasted speculative serve-legs per committed serve (discarded
+    /// anchor-mismatch/stale speculations) — feed the live run's
+    /// `LedgerStats::waste_per_serve`. Charged as off-critical-path
+    /// server work (it inflates busy time and evaluation counts, not
+    /// the requester's latency).
+    pub spec_waste: f64,
 }
 
 impl DesConfig {
@@ -492,8 +505,27 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
         }};
     }
 
+    // off-critical-path speculation work: `factor` serve-equivalents of
+    // level-`lvl` serving charged to busy time and evaluation counts
+    // without occupying the requester or the event timeline
+    macro_rules! charge_spec_work {
+        ($lvl:expr, $factor:expr) => {{
+            let f: f64 = $factor;
+            if f > 0.0 {
+                busy_time += f * serve_mean_dur[$lvl];
+                for (k, e) in serve_evals_at[$lvl].iter().enumerate() {
+                    evals_serve[k] += f * e;
+                }
+            }
+        }};
+    }
+
     // begin chain `id`'s next step: level 0 evaluates directly, finer
-    // levels first need a ledger serve from the level below
+    // levels first need a ledger serve from the level below — unless the
+    // serve was speculatively precomputed (probability `spec_hit_rate`),
+    // in which case the requester pays only the phonebook handoff. Every
+    // serve additionally amortizes `spec_waste` discarded speculative
+    // legs as off-path server work.
     macro_rules! begin_step {
         ($id:expr, $now:expr) => {{
             let level = chains[$id].level;
@@ -501,10 +533,21 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
                 let dur = eval_duration(&mut rng, 0);
                 busy_time += dur;
                 heap.push(Reverse((T($now + dur), $id)));
-            } else if let Some(server) = ready[level - 1].pop_front() {
-                start_serve!(server, $id, $now);
             } else {
-                waiting[level - 1].push_back($id);
+                charge_spec_work!(level - 1, config.spec_waste);
+                if config.spec_hit_rate > 0.0 && rng.random::<f64>() < config.spec_hit_rate {
+                    // speculation hit: serve precomputed during idle time
+                    let svc_start = pb_free_at.max($now);
+                    pb_free_at = svc_start + config.phonebook_service_time;
+                    charge_spec_work!(level - 1, 1.0);
+                    let dur = eval_duration(&mut rng, level);
+                    busy_time += dur;
+                    heap.push(Reverse((T(pb_free_at + dur), $id)));
+                } else if let Some(server) = ready[level - 1].pop_front() {
+                    start_serve!(server, $id, $now);
+                } else {
+                    waiting[level - 1].push_back($id);
+                }
             }
         }};
     }
@@ -669,6 +712,8 @@ mod tests {
             seed: 1,
             ledger: false,
             ledger_pairing_overhead: 0.0,
+            spec_hit_rate: 0.0,
+            spec_waste: 0.0,
         }
     }
 
@@ -681,6 +726,51 @@ mod tests {
         // level 1 runs its samples + 10 x tokens for level 2... at least
         assert!(r.evals_per_level[1] >= 100);
         assert!(r.evals_per_level[2] >= 10);
+    }
+
+    fn ledger_config() -> DesConfig {
+        let mut cfg = base_config();
+        cfg.ledger = true;
+        cfg.ledger_pairing_overhead = 0.8;
+        cfg
+    }
+
+    #[test]
+    fn speculation_hits_shorten_the_ledger_makespan() {
+        // precomputed serves take the ρ(1+diverged) server legs off the
+        // requester's critical path, so virtual wall-clock must drop
+        let base = simulate(&ledger_config());
+        let mut spec = ledger_config();
+        spec.spec_hit_rate = 0.7;
+        let hit = simulate(&spec);
+        assert!(
+            hit.makespan < base.makespan,
+            "speculation hits should shorten the makespan: {} vs {}",
+            hit.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn speculation_waste_inflates_work_not_latency() {
+        // discarded speculations cost server evaluations off the
+        // critical path: eval counts grow, the makespan does not
+        let base = simulate(&ledger_config());
+        let mut wasted = ledger_config();
+        wasted.spec_waste = 0.5;
+        let w = simulate(&wasted);
+        assert!(
+            w.evals_per_level[0] > base.evals_per_level[0],
+            "waste must show up in coarse eval counts: {:?} vs {:?}",
+            w.evals_per_level,
+            base.evals_per_level
+        );
+        assert!(
+            (w.makespan - base.makespan).abs() < 1e-9,
+            "waste is off the critical path: {} vs {}",
+            w.makespan,
+            base.makespan
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod scheduler;
 pub mod trace;
 
 pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
-pub use roles::{run_runtime, RuntimeConfig, RuntimeReport};
+pub use roles::{run_runtime, run_runtime_on, RuntimeConfig, RuntimeReport};
 pub use runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 pub use scheduler::{run_parallel, ParallelConfig, ParallelReport};
 pub use trace::{SpanKind, TraceEvent, Tracer};

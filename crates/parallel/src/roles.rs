@@ -30,8 +30,8 @@
 
 use crate::runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 use crate::scheduler::{
-    controller_seed, poison_sample, CollectorData, LedgerBook, Msg, ParallelConfig,
-    ParallelLevelReport, ParallelReport,
+    controller_seed, poison_sample, CollectorData, Msg, ParallelConfig, ParallelLevelReport,
+    ParallelReport,
 };
 use crate::trace::{SpanKind, Tracer};
 use rand::rngs::StdRng;
@@ -41,7 +41,7 @@ use std::time::Instant;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseSample, MlChain, PendingCoarseSource, StepOutcome};
-use uq_mlmcmc::ledger::{self, LedgerLease, LedgerStats, PairingMode};
+use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, LedgerStats, PairingMode};
 use uq_mlmcmc::LevelFactory;
 
 const ROOT: usize = 0;
@@ -449,6 +449,8 @@ impl<'a> PhonebookRank<'a> {
         if let Some(rank) = self.ready[donor_level].pop_front() {
             self.level_of.insert(rank, starved);
             // the reassigned chain restarts: drop its requester sessions
+            // (their generations advance, so re-opened sessions derive
+            // fresh substreams)
             self.ledger.forget_requester(rank);
             ctx.send(rank, Msg::Reassign { level: starved });
             ctx.send(ROOT, Msg::Reassign { level: starved });
@@ -461,6 +463,52 @@ impl<'a> PhonebookRank<'a> {
             );
             self.stats.reassignments += 1;
             self.last_reassign_at = now;
+        }
+    }
+
+    /// Speculation may use idle capacity only while no level has unmet
+    /// real demand (queued requests outrank precomputation, and the
+    /// load balancer needs parked donors when a level starves).
+    fn speculation_allowed(&self) -> bool {
+        self.config.base.speculation && self.pending.iter().all(VecDeque::is_empty)
+    }
+
+    /// A server became available (initial announce or completed serve):
+    /// route a queued request first, else put the idle capacity to work
+    /// on an accept-case speculation, else park it.
+    fn server_available(&mut self, ctx: &VCtx<'_, Msg>, server: usize, level: usize, now: f64) {
+        if !self.last_ready_at[level].is_nan() {
+            let dt = now - self.last_ready_at[level];
+            self.ema_interval[level] = 0.8 * self.ema_interval[level] + 0.2 * dt;
+        }
+        self.last_ready_at[level] = now;
+        if let Some((reply_to, anchor)) = self.pending[level].pop_front() {
+            let lease = self
+                .ledger
+                .lease(self.config.base.seed, level, reply_to, *anchor);
+            ctx.send(
+                server,
+                Msg::Serve {
+                    reply_to,
+                    lease,
+                    speculative: false,
+                },
+            );
+            self.stats.routed += 1;
+        } else if self.speculation_allowed() {
+            match self.ledger.speculative_lease(level) {
+                Some((requester, lease)) => ctx.send(
+                    server,
+                    Msg::Serve {
+                        reply_to: requester,
+                        lease,
+                        speculative: true,
+                    },
+                ),
+                None => self.ready[level].push_back(server),
+            }
+        } else {
+            self.ready[level].push_back(server);
         }
     }
 }
@@ -476,46 +524,73 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
         while let Some(env) = ctx.try_recv() {
             batch += 1;
             match env.msg {
-                Msg::SampleReady { level } => {
-                    if !self.last_ready_at[level].is_nan() {
-                        let dt = now - self.last_ready_at[level];
-                        self.ema_interval[level] = 0.8 * self.ema_interval[level] + 0.2 * dt;
-                    }
-                    self.last_ready_at[level] = now;
-                    if let Some((reply_to, anchor)) = self.pending[level].pop_front() {
-                        let lease =
-                            self.ledger
-                                .lease(self.config.base.seed, level, reply_to, *anchor);
-                        ctx.send(env.from, Msg::Serve { reply_to, lease });
-                        self.stats.routed += 1;
-                    } else {
-                        self.ready[level].push_back(env.from);
-                    }
-                }
+                Msg::SampleReady { level } => self.server_available(ctx, env.from, level, now),
                 Msg::CoarseRequest {
                     level,
                     reply_to,
                     anchor,
                 } => {
-                    if let Some(server) = self.ready[level].pop_front() {
+                    if let Some(sample) = self.ledger.try_commit(reply_to, level, &anchor) {
+                        // speculation hit: answer from the store, zero
+                        // serve latency on the requester's critical path
+                        ctx.send(
+                            reply_to,
+                            Msg::CoarseSample {
+                                level,
+                                sample: Box::new(sample),
+                            },
+                        );
+                        // the commit re-armed the session as a
+                        // candidate; pair it with a parked server
+                        if self.speculation_allowed() {
+                            if let Some(server) = self.ready[level].pop_front() {
+                                match self.ledger.speculative_lease(level) {
+                                    Some((requester, lease)) => ctx.send(
+                                        server,
+                                        Msg::Serve {
+                                            reply_to: requester,
+                                            lease,
+                                            speculative: true,
+                                        },
+                                    ),
+                                    None => self.ready[level].push_front(server),
+                                }
+                            }
+                        }
+                    } else if let Some(server) = self.ready[level].pop_front() {
                         let lease =
                             self.ledger
                                 .lease(self.config.base.seed, level, reply_to, *anchor);
-                        ctx.send(server, Msg::Serve { reply_to, lease });
+                        ctx.send(
+                            server,
+                            Msg::Serve {
+                                reply_to,
+                                lease,
+                                speculative: false,
+                            },
+                        );
                         self.stats.routed += 1;
                     } else {
                         self.pending[level].push_back((reply_to, anchor));
                     }
                 }
-                Msg::LedgerUpdate {
+                Msg::ServeDone {
                     requester,
                     level,
+                    session,
                     serves,
-                    pairing,
-                    diverged,
-                } => self
-                    .ledger
-                    .update(requester, level, serves, *pairing, diverged),
+                    outcome,
+                    speculative,
+                } => {
+                    if speculative {
+                        self.ledger
+                            .store_speculation(requester, level, session, serves, *outcome);
+                    } else {
+                        self.ledger
+                            .write_back(requester, level, session, serves, &outcome);
+                    }
+                    self.server_available(ctx, env.from, level, now);
+                }
                 Msg::LevelDone { level } => self.done[level] = true,
                 Msg::Shutdown => shutdown = true,
                 _ => {}
@@ -645,6 +720,10 @@ enum ServeLeg {
 /// An in-progress ledger serve: the controller's chain is temporarily
 /// rewound to the lease's states and advanced `ρ` steps per leg; nested
 /// coarse requests suspend the job like an ordinary coupled step.
+/// `speculative` jobs execute the identical pure function of the lease —
+/// through every suspension, batched drain and work-stealing migration —
+/// but conclude by shipping the outcome to the phonebook's speculation
+/// store instead of to `reply_to`.
 struct ServeJob {
     reply_to: usize,
     lease: LedgerLease,
@@ -655,6 +734,8 @@ struct ServeJob {
     /// The controller's own trajectory, restored when the serve ends.
     snapshot: CoarseSample,
     proposal: Option<CoarseSample>,
+    /// Accept-case precomputation on the phonebook's behalf.
+    speculative: bool,
 }
 
 /// What the controller's single outstanding coarse request (if any)
@@ -679,7 +760,7 @@ struct ControllerRank<'a> {
     done_levels: Vec<bool>,
     burnin_left: usize,
     producing: bool,
-    pending_serves: VecDeque<(usize, Box<LedgerLease>)>,
+    pending_serves: VecDeque<(usize, Box<LedgerLease>, bool)>,
     serve_job: Option<ServeJob>,
     announced: bool,
     awaiting: Await,
@@ -821,7 +902,7 @@ impl<'a> ControllerRank<'a> {
 
     /// Begin a ledger serve: snapshot our trajectory, rewind to the
     /// lease's anchor, and set up the proposal leg's substream.
-    fn start_serve(&mut self, reply_to: usize, lease: LedgerLease) {
+    fn start_serve(&mut self, reply_to: usize, lease: LedgerLease, speculative: bool) {
         let snapshot = self.chain.current_as_sample();
         let rng = StdRng::seed_from_u64(ledger::leg_seed(lease.session_seed, lease.serves));
         self.chain.restore(&lease.anchor);
@@ -833,6 +914,7 @@ impl<'a> ControllerRank<'a> {
             rng,
             snapshot,
             proposal: None,
+            speculative,
         });
     }
 
@@ -907,8 +989,10 @@ impl<'a> ControllerRank<'a> {
     }
 
     /// Conclude a serve: restore our trajectory, ship the proposal (mate
-    /// piggybacked) to the requester, write the session back to the
-    /// phonebook's ledger and re-announce availability.
+    /// piggybacked) to the requester — unless the serve was speculative,
+    /// in which case nobody asked — and send the phonebook the single
+    /// batched `ServeDone` (write-back or speculative outcome plus the
+    /// availability re-announce).
     fn finish_serve(
         &mut self,
         ctx: &VCtx<'_, Msg>,
@@ -919,38 +1003,62 @@ impl<'a> ControllerRank<'a> {
     ) {
         self.chain.restore(&job.snapshot);
         proposal.mate = Some(Box::new(pairing.clone()));
-        ctx.send(
-            job.reply_to,
-            Msg::CoarseSample {
-                level: self.level,
-                sample: Box::new(proposal),
-            },
-        );
+        // the write-back MUST be enqueued before the requester's
+        // proposal: program order plus per-destination FIFO then
+        // guarantee the phonebook applies it before the requester's
+        // next request can arrive — a session never serves the same
+        // stream position twice (the no-replay invariant the
+        // speculation commit check relies on)
+        let for_requester = (!job.speculative).then(|| proposal.clone());
         ctx.send(
             PHONEBOOK,
-            Msg::LedgerUpdate {
+            Msg::ServeDone {
                 requester: job.reply_to,
                 level: self.level,
+                session: job.lease.session_seed,
                 serves: job.lease.serves + 1,
-                pairing: Box::new(pairing),
-                diverged,
+                outcome: Box::new(ledger::ServeOutcome {
+                    proposal,
+                    pairing,
+                    diverged,
+                }),
+                speculative: job.speculative,
             },
         );
-        ctx.send(PHONEBOOK, Msg::SampleReady { level: self.level });
+        if let Some(proposal) = for_requester {
+            ctx.send(
+                job.reply_to,
+                Msg::CoarseSample {
+                    level: self.level,
+                    sample: Box::new(proposal),
+                },
+            );
+        }
         self.announced = true;
         self.awaiting = Await::None;
     }
 
-    /// Teardown: poison outstanding serve requests, report, exit.
+    /// Teardown: poison outstanding real serve requests (speculative
+    /// targets never asked and must not receive an unsolicited poison),
+    /// report, exit.
     fn teardown(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
         if let Some(job) = self.serve_job.take() {
-            ctx.send(job.reply_to, Msg::Poison);
+            if !job.speculative {
+                ctx.send(job.reply_to, Msg::Poison);
+            }
         }
-        for (reply_to, _) in self.pending_serves.drain(..) {
-            ctx.send(reply_to, Msg::Poison);
+        for (reply_to, _, speculative) in self.pending_serves.drain(..) {
+            if !speculative {
+                ctx.send(reply_to, Msg::Poison);
+            }
         }
         while let Some(env) = ctx.try_recv() {
-            if let Msg::Serve { reply_to, .. } = env.msg {
+            if let Msg::Serve {
+                reply_to,
+                speculative: false,
+                ..
+            } = env.msg
+            {
                 ctx.send(reply_to, Msg::Poison);
             }
         }
@@ -976,7 +1084,13 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
             ) || (!busy && matches!(e.msg, Msg::Reassign { .. }))
         }) {
             match env.msg {
-                Msg::Serve { reply_to, lease } => self.pending_serves.push_back((reply_to, lease)),
+                Msg::Serve {
+                    reply_to,
+                    lease,
+                    speculative,
+                } => self
+                    .pending_serves
+                    .push_back((reply_to, lease, speculative)),
                 Msg::StopProducing { level } => {
                     self.done_levels[level] = true;
                     if level == self.level {
@@ -985,9 +1099,12 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                 }
                 Msg::Reassign { level } => {
                     // abandon this chain, rebuild on the new level;
-                    // poison anyone we promised to serve
-                    for (reply_to, _) in self.pending_serves.drain(..) {
-                        ctx.send(reply_to, Msg::Poison);
+                    // poison anyone we promised a real serve (never a
+                    // speculation target, who never asked)
+                    for (reply_to, _, speculative) in self.pending_serves.drain(..) {
+                        if !speculative {
+                            ctx.send(reply_to, Msg::Poison);
+                        }
                     }
                     self.level = level;
                     self.chain = Self::build_chain(self.factory, &self.counters, level);
@@ -1054,8 +1171,8 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
             };
         }
         if self.burnin_left == 0 {
-            if let Some((reply_to, lease)) = self.pending_serves.pop_front() {
-                self.start_serve(reply_to, *lease);
+            if let Some((reply_to, lease, speculative)) = self.pending_serves.pop_front() {
+                self.start_serve(reply_to, *lease, speculative);
                 return match self.drive_serve(ctx) {
                     Some(wait) => Poll::Wait(wait),
                     None => Poll::Ready,
@@ -1130,6 +1247,20 @@ pub fn run_runtime(
     config: &RuntimeConfig,
     tracer: &Tracer,
 ) -> RuntimeReport {
+    run_runtime_on(&Runtime::new(config.n_workers), factory, config, tracer)
+}
+
+/// [`run_runtime`] on a caller-provided, reusable worker pool: a scaling
+/// sweep drives all its points through one [`Runtime`], whose
+/// [`lifetime_stats`](Runtime::lifetime_stats) then aggregate the sweep
+/// while each report's [`RuntimeReport::runtime`] stats stay per-run.
+/// The pool's worker count wins over `config.n_workers`.
+pub fn run_runtime_on(
+    runtime: &Runtime,
+    factory: &dyn LevelFactory,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+) -> RuntimeReport {
     assert!(
         config.n_levels() <= factory.n_levels(),
         "run_runtime: more levels configured than the factory provides"
@@ -1140,7 +1271,6 @@ pub fn run_runtime(
     );
     assert!(config.collector_shards >= 1, "run_runtime: need >= 1 shard");
     let start = Instant::now();
-    let runtime = Runtime::new(config.n_workers);
     let run = runtime.run(
         config.n_ranks(),
         |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + Send + '_> {

@@ -229,7 +229,11 @@ impl<M: Send> VCtx<'_, M> {
     }
 }
 
-/// Counters describing one runtime execution.
+/// Counters describing one runtime execution. The stats returned by
+/// [`Runtime::run`] cover **that run only** — a [`Runtime`] reused
+/// across runs resets them between invocations (regression-tested by
+/// `stats_reset_between_runs_on_a_reused_pool`); the pool-lifetime
+/// accumulation lives in [`Runtime::lifetime_stats`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RuntimeStats {
     /// Total `poll` invocations across all ranks.
@@ -243,6 +247,16 @@ pub struct RuntimeStats {
     pub steals: usize,
 }
 
+impl RuntimeStats {
+    /// Component-wise accumulation (lifetime bookkeeping).
+    fn absorb(&mut self, other: &RuntimeStats) {
+        self.polls += other.polls;
+        self.wakeups += other.wakeups;
+        self.dropped_sends += other.dropped_sends;
+        self.steals += other.steals;
+    }
+}
+
 /// Results of a runtime execution.
 pub struct RuntimeRun<R> {
     /// Per-rank outputs, indexed by rank.
@@ -250,9 +264,14 @@ pub struct RuntimeRun<R> {
     pub stats: RuntimeStats,
 }
 
-/// The cooperative runtime.
+/// The cooperative runtime. One `Runtime` is a reusable worker pool:
+/// [`run`](Self::run) may be invoked repeatedly (e.g. across the points
+/// of a scaling sweep) and each invocation's [`RuntimeStats`] describe
+/// that run alone, while [`lifetime_stats`](Self::lifetime_stats)
+/// accumulates across every run of the pool.
 pub struct Runtime {
     n_workers: usize,
+    lifetime: parking_lot::Mutex<RuntimeStats>,
 }
 
 impl Runtime {
@@ -262,11 +281,19 @@ impl Runtime {
     /// Panics if `n_workers == 0`.
     pub fn new(n_workers: usize) -> Self {
         assert!(n_workers > 0, "Runtime: need at least one worker");
-        Self { n_workers }
+        Self {
+            n_workers,
+            lifetime: parking_lot::Mutex::new(RuntimeStats::default()),
+        }
     }
 
     pub fn n_workers(&self) -> usize {
         self.n_workers
+    }
+
+    /// Counters accumulated over every [`run`](Self::run) of this pool.
+    pub fn lifetime_stats(&self) -> RuntimeStats {
+        *self.lifetime.lock()
     }
 
     /// Run `n_ranks` virtual ranks to completion and gather their outputs
@@ -334,14 +361,19 @@ impl Runtime {
                 }
             }
         });
+        // per-run counters: `Shared` is constructed afresh above, so a
+        // reused pool cannot leak a previous run's polls/steals into
+        // this run's stats — only the lifetime accumulator carries over
+        let stats = RuntimeStats {
+            polls: shared.polls.load(Ordering::Relaxed),
+            wakeups: shared.wakeups.load(Ordering::Relaxed),
+            dropped_sends: shared.dropped_sends.load(Ordering::Relaxed),
+            steals: shared.steals.load(Ordering::Relaxed),
+        };
+        self.lifetime.lock().absorb(&stats);
         RuntimeRun {
             results: results.into_iter().map(Option::unwrap).collect(),
-            stats: RuntimeStats {
-                polls: shared.polls.load(Ordering::Relaxed),
-                wakeups: shared.wakeups.load(Ordering::Relaxed),
-                dropped_sends: shared.dropped_sends.load(Ordering::Relaxed),
-                steals: shared.steals.load(Ordering::Relaxed),
-            },
+            stats,
         }
     }
 }
@@ -719,6 +751,44 @@ mod tests {
         let run = Runtime::new(1).run(8, |_, _| Box::new(HeavyRank { spins: 10 }) as Machine);
         assert_eq!(run.results.iter().sum::<usize>(), 8);
         assert_eq!(run.stats.steals, 0);
+    }
+
+    #[test]
+    fn stats_reset_between_runs_on_a_reused_pool() {
+        // regression: per-run RuntimeStats must describe one run only.
+        // First run: the skewed pinning from the stealing test, which is
+        // guaranteed to steal; second run on the SAME pool: trivial
+        // no-contention ranks, which must report zero steals (and far
+        // fewer polls), not the first run's counters carried over.
+        let pool = Runtime::new(4);
+        let first = pool.run(64, |rank, _| {
+            Box::new(HeavyRank {
+                spins: if rank % 4 == 0 { 200_000 } else { 0 },
+            }) as Machine
+        });
+        assert!(first.stats.steals > 0, "first run must steal");
+        // a single rank clamps the pool to one active worker, so this
+        // run cannot steal at all — any nonzero count is leakage
+        let second = pool.run(1, |_, _| Box::new(HeavyRank { spins: 0 }) as Machine);
+        assert_eq!(
+            second.stats.steals, 0,
+            "reused pool leaked the previous run's steals: {:?}",
+            second.stats
+        );
+        assert!(
+            second.stats.polls < first.stats.polls,
+            "per-run polls must not accumulate: {:?} after {:?}",
+            second.stats,
+            first.stats
+        );
+        // the pool-lifetime view is the across-runs sum
+        let lifetime = pool.lifetime_stats();
+        assert_eq!(lifetime.steals, first.stats.steals + second.stats.steals);
+        assert_eq!(lifetime.polls, first.stats.polls + second.stats.polls);
+        assert_eq!(
+            lifetime.dropped_sends,
+            first.stats.dropped_sends + second.stats.dropped_sends
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use uq_mcmc::stats::VectorMoments;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain};
-use uq_mlmcmc::ledger::{self, LedgerLease, LedgerStats, PairingMode};
+use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, PairingMode, ServeOutcome};
 use uq_mlmcmc::LevelFactory;
 
 /// RNG stream seed of the controller at `rank` (shared by the thread
@@ -40,73 +40,6 @@ use uq_mlmcmc::LevelFactory;
 /// tests reproduce it).
 pub fn controller_seed(base: u64, rank: usize) -> u64 {
     base.wrapping_add(rank as u64 * 0x9E37_79B9)
-}
-
-/// Phonebook-side record of one requester's ledger session.
-pub(crate) struct LedgerSession {
-    pub seed: u64,
-    pub serves: u64,
-    pub pairing: Option<CoarseSample>,
-}
-
-/// The phonebook's per-requester session registry: the rewind ledger.
-/// Keyed by `(requester rank, coarse level)`; both phonebook
-/// implementations (thread scheduler and cooperative runtime) share it.
-#[derive(Default)]
-pub(crate) struct LedgerBook {
-    sessions: std::collections::HashMap<(usize, usize), LedgerSession>,
-    pub stats: LedgerStats,
-}
-
-impl LedgerBook {
-    /// Build the lease for the next serve of `(reply_to, level)`,
-    /// opening the session on first contact.
-    pub fn lease(
-        &mut self,
-        base_seed: u64,
-        level: usize,
-        reply_to: usize,
-        anchor: CoarseSample,
-    ) -> Box<LedgerLease> {
-        let stats = &mut self.stats;
-        let session = self.sessions.entry((reply_to, level)).or_insert_with(|| {
-            stats.sessions += 1;
-            LedgerSession {
-                seed: ledger::session_seed(base_seed, level, reply_to as u64),
-                serves: 0,
-                pairing: None,
-            }
-        });
-        stats.serves += 1;
-        Box::new(LedgerLease {
-            session_seed: session.seed,
-            serves: session.serves,
-            pairing: session.pairing.clone(),
-            anchor,
-        })
-    }
-
-    /// Apply a serve's write-back.
-    pub fn update(
-        &mut self,
-        requester: usize,
-        level: usize,
-        serves: u64,
-        pairing: CoarseSample,
-        diverged: bool,
-    ) {
-        self.stats.diverged += usize::from(diverged);
-        if let Some(session) = self.sessions.get_mut(&(requester, level)) {
-            session.serves = serves;
-            session.pairing = Some(pairing);
-        }
-    }
-
-    /// Drop a requester's sessions (its chain was rebuilt by a
-    /// reassignment; the fresh chain starts a fresh logical subchain).
-    pub fn forget_requester(&mut self, requester: usize) {
-        self.sessions.retain(|&(r, _), _| r != requester);
-    }
 }
 
 /// Messages exchanged between ranks.
@@ -121,9 +54,13 @@ pub enum Msg {
     },
     /// Phonebook → serving controller: execute one ledger serve for
     /// `reply_to` (the lease carries the session state and anchor).
+    /// `speculative` serves are accept-case precomputations: the result
+    /// goes back to the phonebook (inside [`Msg::ServeDone`]) instead of
+    /// to `reply_to`, who never asked.
     Serve {
         reply_to: usize,
         lease: Box<LedgerLease>,
+        speculative: bool,
     },
     /// Serving controller → requester: the served proposal (its `mate`
     /// field carries the ledger pairing state).
@@ -131,14 +68,20 @@ pub enum Msg {
         level: usize,
         sample: Box<CoarseSample>,
     },
-    /// Serving controller → phonebook: write-back of the session state
-    /// advanced by a completed serve.
-    LedgerUpdate {
+    /// Serving controller → phonebook: one batched message concluding a
+    /// serve — the ledger write-back, the speculative outcome (when
+    /// `speculative`) and the availability re-announce folded together
+    /// (PR 4 sent a separate `LedgerUpdate` plus `SampleReady` here).
+    /// `session` echoes the lease's session seed so the phonebook can
+    /// drop write-backs from dead session generations.
+    ServeDone {
         requester: usize,
         level: usize,
+        session: u64,
+        /// Session stream position after this serve (`lease.serves + 1`).
         serves: u64,
-        pairing: Box<CoarseSample>,
-        diverged: bool,
+        outcome: Box<ServeOutcome>,
+        speculative: bool,
     },
     /// Teardown answer to a request that can no longer be served.
     Poison,
@@ -205,6 +148,14 @@ pub struct ParallelConfig {
     /// Which coarse stream the correction moments pair against (see
     /// [`uq_mlmcmc::ledger::PairingMode`]).
     pub pairing: PairingMode,
+    /// Dispatch speculative accept-case serves to idle servers (see
+    /// [`uq_mlmcmc::ledger::LedgerBook`]). Statistically inert either
+    /// way — a committed speculation is bit-identical to the real serve
+    /// it replaces and a discarded one never touches session state
+    /// (pinned by `tests/speculation_conformance.rs`) — so it defaults
+    /// to on; the switch exists for A/B measurement and the conformance
+    /// suite itself.
+    pub speculation: bool,
 }
 
 impl ParallelConfig {
@@ -225,6 +176,7 @@ impl ParallelConfig {
             // here. The sequential driver keeps the low-variance proposal
             // pairing by default — see DESIGN.md §5.
             pairing: PairingMode::Ledger,
+            speculation: true,
         }
     }
 
@@ -499,8 +451,13 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
     loop {
         let env = ctx.recv();
         let now = epoch.elapsed().as_secs_f64();
-        match env.msg {
-            Msg::SampleReady { level } => {
+        // a server became available (initial announce or completed
+        // serve): route a queued request first; with no unmet demand
+        // anywhere, put the idle capacity to work on an accept-case
+        // speculation; otherwise park it for the load balancer
+        macro_rules! server_available {
+            ($server:expr, $level:expr) => {{
+                let level = $level;
                 if !last_ready_at[level].is_nan() {
                     let dt = now - last_ready_at[level];
                     ema_interval[level] = 0.8 * ema_interval[level] + 0.2 * dt;
@@ -508,30 +465,94 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                 last_ready_at[level] = now;
                 if let Some((reply_to, anchor)) = pending[level].pop_front() {
                     let lease = ledger.lease(config.seed, level, reply_to, *anchor);
-                    ctx.send(env.from, Msg::Serve { reply_to, lease });
+                    ctx.send(
+                        $server,
+                        Msg::Serve {
+                            reply_to,
+                            lease,
+                            speculative: false,
+                        },
+                    );
+                } else if config.speculation && pending.iter().all(VecDeque::is_empty) {
+                    match ledger.speculative_lease(level) {
+                        Some((requester, lease)) => ctx.send(
+                            $server,
+                            Msg::Serve {
+                                reply_to: requester,
+                                lease,
+                                speculative: true,
+                            },
+                        ),
+                        None => ready[level].push_back($server),
+                    }
                 } else {
-                    ready[level].push_back(env.from);
+                    ready[level].push_back($server);
                 }
-            }
+            }};
+        }
+        match env.msg {
+            Msg::SampleReady { level } => server_available!(env.from, level),
             Msg::CoarseRequest {
                 level,
                 reply_to,
                 anchor,
             } => {
-                if let Some(server) = ready[level].pop_front() {
+                if let Some(sample) = ledger.try_commit(reply_to, level, &anchor) {
+                    // speculation hit: the serve never touches the
+                    // requester's critical path — answer directly
+                    ctx.send(
+                        reply_to,
+                        Msg::CoarseSample {
+                            level,
+                            sample: Box::new(sample),
+                        },
+                    );
+                    // the commit re-armed the session as a candidate;
+                    // pair it with a parked server right away
+                    if config.speculation && pending.iter().all(VecDeque::is_empty) {
+                        if let Some(server) = ready[level].pop_front() {
+                            match ledger.speculative_lease(level) {
+                                Some((requester, lease)) => ctx.send(
+                                    server,
+                                    Msg::Serve {
+                                        reply_to: requester,
+                                        lease,
+                                        speculative: true,
+                                    },
+                                ),
+                                None => ready[level].push_front(server),
+                            }
+                        }
+                    }
+                } else if let Some(server) = ready[level].pop_front() {
                     let lease = ledger.lease(config.seed, level, reply_to, *anchor);
-                    ctx.send(server, Msg::Serve { reply_to, lease });
+                    ctx.send(
+                        server,
+                        Msg::Serve {
+                            reply_to,
+                            lease,
+                            speculative: false,
+                        },
+                    );
                 } else {
                     pending[level].push_back((reply_to, anchor));
                 }
             }
-            Msg::LedgerUpdate {
+            Msg::ServeDone {
                 requester,
                 level,
+                session,
                 serves,
-                pairing,
-                diverged,
-            } => ledger.update(requester, level, serves, *pairing, diverged),
+                outcome,
+                speculative,
+            } => {
+                if speculative {
+                    ledger.store_speculation(requester, level, session, serves, *outcome);
+                } else {
+                    ledger.write_back(requester, level, session, serves, &outcome);
+                }
+                server_available!(env.from, level);
+            }
             Msg::LevelDone { level } => done[level] = true,
             Msg::Shutdown => {
                 // no more forwards: poison every queued request, ack, exit
@@ -743,7 +764,7 @@ fn controller_role(
         let rho = factory.subsampling_rate(level).max(1);
         let is_top = level + 1 >= n_levels;
         let mut producing = !done_levels[level];
-        let mut pending_serves: VecDeque<(usize, Box<LedgerLease>)> = VecDeque::new();
+        let mut pending_serves: VecDeque<(usize, Box<LedgerLease>, bool)> = VecDeque::new();
         let mut announced = false;
 
         loop {
@@ -758,7 +779,11 @@ fn controller_role(
                 };
                 let Some(env) = env else { break };
                 match env.msg {
-                    Msg::Serve { reply_to, lease } => pending_serves.push_back((reply_to, lease)),
+                    Msg::Serve {
+                        reply_to,
+                        lease,
+                        speculative,
+                    } => pending_serves.push_back((reply_to, lease, speculative)),
                     Msg::StopProducing { level: l } => {
                         done_levels[l] = true;
                         if l == level {
@@ -768,10 +793,15 @@ fn controller_role(
                     Msg::Reassign { level: new_level } => {
                         // abandon this chain, rebuild on the new level
                         LEVEL.with(|l| l.set(Some(new_level)));
-                        // poison anyone we promised to serve
+                        // poison anyone we promised to serve — but never
+                        // the target of a speculative serve, who never
+                        // asked and may be waiting on a real serve from
+                        // someone else
                         let c = shared.lock();
-                        for (reply_to, _) in pending_serves.drain(..) {
-                            c.send(reply_to, Msg::Poison);
+                        for (reply_to, _, speculative) in pending_serves.drain(..) {
+                            if !speculative {
+                                c.send(reply_to, Msg::Poison);
+                            }
                         }
                         drop(c);
                         continue 'levels;
@@ -786,38 +816,50 @@ fn controller_role(
                 break 'levels;
             }
 
-            // a requester is suspended on every queued serve: execute the
-            // ledger serves before advancing our own chain. The serve
-            // rewinds/continues the requester's session on this chain and
-            // restores our own trajectory afterwards (cached values only,
-            // no forward-model evaluations for the restores themselves).
-            if let Some((reply_to, lease)) = pending_serves.pop_front() {
+            // a requester is suspended on every queued real serve:
+            // execute the ledger serves before advancing our own chain.
+            // The serve rewinds/continues the requester's session on this
+            // chain and restores our own trajectory afterwards (cached
+            // values only, no forward-model evaluations for the restores
+            // themselves). A speculative serve runs identically — same
+            // pure function of the lease — but its outcome travels only
+            // to the phonebook's speculation store.
+            if let Some((reply_to, lease, speculative)) = pending_serves.pop_front() {
                 let snapshot = chain.current_as_sample();
                 let serve_start = tracer.now();
                 let out = ledger::serve(&mut chain, rho, &lease);
                 tracer.record(rank, SpanKind::Serve { level }, serve_start, tracer.now());
                 chain.restore(&snapshot);
                 let c = shared.lock();
-                c.send(
-                    reply_to,
-                    Msg::CoarseSample {
-                        level,
-                        sample: Box::new(out.proposal),
-                    },
-                );
+                // one batched message: write-back (or speculative
+                // outcome) + availability re-announce. It MUST be sent
+                // before the requester's proposal: program order plus
+                // per-destination FIFO then guarantee the phonebook
+                // applies the write-back before the requester's next
+                // request can arrive, so a session never serves the same
+                // stream position twice (the no-replay invariant the
+                // speculation commit check relies on).
+                let proposal = (!speculative).then(|| out.proposal.clone());
                 c.send(
                     PHONEBOOK,
-                    Msg::LedgerUpdate {
+                    Msg::ServeDone {
                         requester: reply_to,
                         level,
+                        session: lease.session_seed,
                         serves: lease.serves + 1,
-                        pairing: Box::new(out.pairing),
-                        diverged: out.diverged,
+                        outcome: Box::new(out),
+                        speculative,
                     },
                 );
-                // availability token consumed by the routed serve:
-                // re-announce so the phonebook can route us more work
-                c.send(PHONEBOOK, Msg::SampleReady { level });
+                if let Some(proposal) = proposal {
+                    c.send(
+                        reply_to,
+                        Msg::CoarseSample {
+                            level,
+                            sample: Box::new(proposal),
+                        },
+                    );
+                }
                 drop(c);
                 announced = true;
                 continue;
@@ -873,10 +915,16 @@ fn controller_role(
         }
     }
 
-    // teardown: poison outstanding serve requests, then report
+    // teardown: poison outstanding real serve requests (speculative
+    // targets never asked — dropping theirs is silent), then report
     let mut c = shared.lock();
     for env in c.drain() {
-        if let Msg::Serve { reply_to, .. } = env.msg {
+        if let Msg::Serve {
+            reply_to,
+            speculative: false,
+            ..
+        } = env.msg
+        {
             c.send(reply_to, Msg::Poison);
         }
     }

@@ -3,6 +3,9 @@
 //! fine-marginal exactness the rewind preserves, the unbiased ledger
 //! pairing on all three backends, and bit-for-bit parity between the
 //! sequential ledger session and the single-worker cooperative runtime.
+//! The legacy proposal-pairing biases this suite used to carry as
+//! `#[ignore]`d fixtures now live in `bias_fixtures.rs` with tolerance
+//! bands, run as their own CI step.
 //!
 //! The fixture is a **tight-ridge** two-level Gaussian hierarchy: the
 //! fine posterior `N(0.35, 0.12²)` sits 2.3 coarse standard deviations
@@ -118,28 +121,6 @@ fn ledger_pairing_stream_matches_coarse_marginal() {
     );
 }
 
-/// Bias-regression fixture for the pre-ledger pairing: the served
-/// PROPOSAL stream (what the estimator paired against before the ledger)
-/// has marginal `π_1 K_0^ρ`, dragged toward the fine posterior — it
-/// FAILS the served-marginal test the pairing track passes on identical
-/// seeds. Kept `#[ignore]`d as documentation of the defect the ledger
-/// removes; it passes when run because it asserts the bias is present.
-#[test]
-#[ignore = "bias-regression fixture: demonstrates the pre-ledger pairing's served-marginal failure"]
-fn proposal_pairing_fails_served_marginal_fixture() {
-    let (_, proposal, pairing) = run_streams(60_000, 2_000, 41);
-    let proposal_mean = stats_mean(&proposal);
-    let pairing_mean = stats_mean(&pairing);
-    assert!(
-        (proposal_mean - COARSE_MEAN).abs() > 0.05,
-        "the ρ-subsampled proposal stream should exhibit the O(contraction^ρ) pull \
-         toward the fine posterior (measured mean {proposal_mean}); if this fixture \
-         fails, the legacy pairing became unbiased and DESIGN.md §5 needs a rewrite"
-    );
-    // same seeds, same serves: only the pairing track is unbiased
-    assert!((pairing_mean - COARSE_MEAN).abs() < 0.02);
-}
-
 #[test]
 fn ledger_correction_unbiased_on_all_three_backends() {
     // E[Q_1 - Q_0] on the ridge is 0.35 - 0.0; with proposal pairing the
@@ -180,26 +161,6 @@ fn ledger_correction_unbiased_on_all_three_backends() {
     // the runtime's ledger must have actually been exercised
     assert!(rt.phonebook.ledger.serves > 15_000);
     assert!(rt.phonebook.ledger.sessions >= 1);
-}
-
-/// Bias-regression fixture for the parallel proposal pairing: with the
-/// per-requester rewind in place, pairing against the proposal stream
-/// re-introduces the `O(contraction^ρ)` correction bias on the ridge.
-/// `#[ignore]`d documentation of why the parallel backends default to
-/// `PairingMode::Ledger`.
-#[test]
-#[ignore = "bias-regression fixture: proposal pairing under rewind serving is biased on the ridge"]
-fn parallel_proposal_pairing_biased_fixture() {
-    let truth = FINE_MEAN - COARSE_MEAN;
-    let mut pconfig = ParallelConfig::new(vec![30_000, 15_000], vec![1, 1]);
-    pconfig.burn_in = vec![1_000, 500];
-    pconfig.pairing = PairingMode::Proposal;
-    let par = run_parallel(&Ridge, &pconfig, &Tracer::disabled());
-    let corr = par.levels[1].mean_correction[0];
-    assert!(
-        (corr - truth).abs() > 0.1,
-        "proposal pairing should be visibly biased on the ridge, measured {corr}"
-    );
 }
 
 #[test]
