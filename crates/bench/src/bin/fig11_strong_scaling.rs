@@ -7,7 +7,7 @@
 //! and additionally run the *live* thread-backed scheduler at small rank
 //! counts as a cross-check (`--paper` extends the live sweep).
 
-use uq_bench::{render_table, to_csv, write_output, ExpArgs};
+use uq_bench::{render_table, write_bench_csv, ExpArgs};
 use uq_parallel::des::{distribute_chains, simulate, DesConfig};
 use uq_parallel::{run_parallel, ParallelConfig, Tracer};
 
@@ -86,13 +86,11 @@ fn main() {
             &rows
         )
     );
-    write_output(
+    write_bench_csv(
         &args.out_dir,
         "fig11_strong_scaling.csv",
-        &to_csv(
-            "ranks,makespan_s,speedup,ideal_speedup,busy_fraction,reassignments",
-            &csv,
-        ),
+        "ranks,makespan_s,speedup,ideal_speedup,busy_fraction,reassignments",
+        &csv,
     );
 
     // ---- live cross-check with the thread-backed scheduler ----
@@ -131,10 +129,11 @@ fn main() {
         "{}",
         render_table(&["ranks", "time[s]", "speedup", "estimate"], &live_rows)
     );
-    write_output(
+    write_bench_csv(
         &args.out_dir,
         "fig11_live_scaling.csv",
-        &to_csv("ranks,elapsed_s,speedup,estimate", &live_csv),
+        "ranks,elapsed_s,speedup,estimate",
+        &live_csv,
     );
 }
 

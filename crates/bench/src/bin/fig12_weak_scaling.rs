@@ -5,7 +5,7 @@
 //! paper (which is why the small runs exceed 100%: the fixed bookkeeping
 //! ranks are amortized).
 
-use uq_bench::{render_table, to_csv, write_output, ExpArgs};
+use uq_bench::{render_table, write_bench_csv, ExpArgs};
 use uq_parallel::des::{distribute_chains, simulate, DesConfig};
 
 const EVAL_TIME: [f64; 3] = [3.35e-3, 45.64e-3, 931.81e-3];
@@ -72,9 +72,10 @@ fn main() {
         "{}",
         render_table(&["ranks", "time[s]", "efficiency", "busy"], &rows)
     );
-    write_output(
+    write_bench_csv(
         &args.out_dir,
         "fig12_weak_scaling.csv",
-        &to_csv("ranks,makespan_s,efficiency_pct,busy_fraction", &csv),
+        "ranks,makespan_s,efficiency_pct,busy_fraction",
+        &csv,
     );
 }

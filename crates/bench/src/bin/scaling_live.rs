@@ -45,18 +45,28 @@
 //! the DES cost model, asserts the overhead against the non-speculative
 //! PR-4 baseline stays at or below that PR's 1.21–1.32 band, and writes
 //! `results/BENCH_PR5.json`.
+//!
+//! Since PR 6 the binary doubles as the **durable-runs** entry point:
+//! every artifact is also registered in the content-addressed run store
+//! (`results/store/`, see DESIGN.md §7), and the deterministic
+//! single-worker checkpoint study runs at the end of the sweep — or
+//! standalone via `--checkpoint-every N` / `--crash-at k` / `--resume`,
+//! the crash-injection path exercised by
+//! `tests/checkpoint_equivalence.rs`. Writes `results/BENCH_PR6.json`.
 
-use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use uq_bench::{render_table, to_csv, write_output, ExpArgs};
+use uq_bench::{render_table, write_bench, write_bench_csv, BenchJson, ExpArgs};
 use uq_linalg::prob::isotropic_gaussian_logpdf;
 use uq_mcmc::proposal::GaussianRandomWalk;
 use uq_mcmc::{Proposal, SamplingProblem};
+use uq_mlmcmc::store::fnv1a;
 use uq_mlmcmc::LevelFactory;
 use uq_parallel::des::{simulate, DesConfig};
 use uq_parallel::roles::RuntimeReport;
 use uq_parallel::{
-    run_parallel, run_runtime, run_runtime_on, ParallelConfig, Runtime, RuntimeConfig, Tracer,
+    run_parallel, run_runtime, run_runtime_ckpt, run_runtime_on, ParallelCheckpoint,
+    ParallelConfig, Runtime, RuntimeConfig, Tracer,
 };
 
 /// Gaussian level target with a deterministic busy-spin so one model
@@ -108,6 +118,34 @@ impl LevelFactory for SpinHierarchy {
     }
     fn subsampling_rate(&self, level: usize) -> usize {
         RHO[level]
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+}
+
+/// Two-level Gaussian hierarchy for the durable-runs study: with two
+/// levels the serving chains are base chains (no nested coarse
+/// requests), the regime where checkpointing is provably transparent —
+/// see DESIGN.md §7.
+struct CkptHierarchy;
+
+impl LevelFactory for CkptHierarchy {
+    fn n_levels(&self) -> usize {
+        2
+    }
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        Box::new(SpinTarget {
+            mean: [0.5, 1.0][level],
+            sd: [0.6, 0.5][level],
+            spin: 0,
+        })
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+        Box::new(GaussianRandomWalk::new(0.8))
+    }
+    fn subsampling_rate(&self, level: usize) -> usize {
+        [3, 0][level]
     }
     fn starting_point(&self, _level: usize) -> Vec<f64> {
         vec![0.0]
@@ -415,47 +453,202 @@ fn swe_study(args: &ExpArgs) {
         )
     );
 
-    let mut json = String::from("{\n  \"pr\": 4,\n  \"model\": \"swe\",\n");
-    writeln!(json, "  \"resolution\": {:?},", resolution.cells(2)).unwrap();
-    writeln!(json, "  \"workers\": {workers},").unwrap();
-    writeln!(json, "  \"effective_cores\": {effective_cores},").unwrap();
-    writeln!(json, "  \"collector_shards\": {shards},").unwrap();
-    writeln!(
-        json,
-        "  \"eval_time_ms\": {:?},",
-        eval_time.iter().map(|s| s * 1e3).collect::<Vec<_>>()
-    )
-    .unwrap();
-    json.push_str("  \"sweep\": [\n");
-    for (i, (p, est)) in points.iter().enumerate() {
-        let comma = if i + 1 == points.len() { "" } else { "," };
-        writeln!(
-            json,
-            "    {{ \"ranks\": {}, \"chains\": {:?}, \"elapsed_s\": {:.3}, \
-             \"throughput_samples_per_s\": {:.2}, \"des_pred_elapsed_s\": {:.3}, \
-             \"overhead_ratio\": {:.3}, \"evals_per_level\": {:?}, \
-             \"des_evals_per_level\": {:?}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
-             \"steals\": {}, \"mean_batch\": {:.2}, \"estimate\": [{:.3}, {:.3}] }}{comma}",
-            p.ranks,
-            p.chains,
-            p.elapsed,
-            p.throughput,
-            p.pred_elapsed,
-            p.elapsed / p.pred_elapsed,
-            p.evals,
-            p.des_evals,
-            p.ledger_serves,
-            p.diverged_frac,
-            p.steals,
-            p.mean_batch,
-            est[0],
-            est[1]
+    let sweep: Vec<String> = points
+        .iter()
+        .map(|(p, est)| {
+            format!(
+                "{{ \"ranks\": {}, \"chains\": {:?}, \"elapsed_s\": {:.3}, \
+                 \"throughput_samples_per_s\": {:.2}, \"des_pred_elapsed_s\": {:.3}, \
+                 \"overhead_ratio\": {:.3}, \"evals_per_level\": {:?}, \
+                 \"des_evals_per_level\": {:?}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
+                 \"steals\": {}, \"mean_batch\": {:.2}, \"estimate\": [{:.3}, {:.3}] }}",
+                p.ranks,
+                p.chains,
+                p.elapsed,
+                p.throughput,
+                p.pred_elapsed,
+                p.elapsed / p.pred_elapsed,
+                p.evals,
+                p.des_evals,
+                p.ledger_serves,
+                p.diverged_frac,
+                p.steals,
+                p.mean_batch,
+                est[0],
+                est[1]
+            )
+        })
+        .collect();
+    let mut json = BenchJson::new();
+    json.field("pr", 4)
+        .field_str("model", "swe")
+        .field("resolution", format!("{:?}", resolution.cells(2)))
+        .field("workers", workers)
+        .field("effective_cores", effective_cores)
+        .field("collector_shards", shards)
+        .field(
+            "eval_time_ms",
+            format!(
+                "{:?}",
+                eval_time.iter().map(|s| s * 1e3).collect::<Vec<_>>()
+            ),
         )
-        .unwrap();
-    }
-    json.push_str("  ]\n}\n");
-    write_output(&args.out_dir, "BENCH_PR4.json", &json);
+        .array("sweep", &sweep);
+    write_bench(&args.out_dir, "BENCH_PR4.json", &json.finish());
     println!("\nscaling_live --model swe: all checks passed");
+}
+
+/// The durable-runs study (PR 6): checkpoint the deterministic
+/// single-worker runtime configuration into the content-addressed run
+/// store every `--checkpoint-every` recorded top-level corrections
+/// (default 12), then prove the run is restartable:
+///
+/// * default invocation — run checkpointed, rerun uninterrupted, resume
+///   from the latest snapshot, and require all three reports
+///   bit-identical;
+/// * `--crash-at k` — abort the process at the k-th snapshot (the
+///   crash-injection harness in `tests/checkpoint_equivalence.rs`
+///   drives this, then re-launches with `--resume`);
+/// * `--resume` — restart from the latest matching snapshot in the
+///   store and still compare against an uninterrupted in-process run.
+///
+/// Writes `results/BENCH_PR6.json`, a pure function of the final report
+/// (estimates and their exact bit patterns, no timing), so a resumed
+/// run reproduces the uninterrupted run's artifact byte-for-byte.
+fn checkpoint_study(args: &ExpArgs) {
+    let every = if args.checkpoint_every > 0 {
+        args.checkpoint_every
+    } else {
+        25
+    };
+    let h = CkptHierarchy;
+    let samples = vec![900usize, 150];
+    let chains = vec![1usize, 1];
+    let burn_in = vec![40usize, 20];
+    let mut cfg = RuntimeConfig::new(samples.clone(), chains.clone());
+    cfg.base.burn_in = burn_in.clone();
+    cfg.base.seed = args.seed;
+    // the checkpoint-transparent regime (DESIGN.md §7): snapshots pin
+    // chains to levels (no load balancing), one worker makes the
+    // cooperative schedule deterministic, and with two levels the
+    // serving chains are base chains — their ledger sessions see one
+    // requester each, so the quiesce pauses cannot reorder any serve
+    // substream and a checkpointed run is bit-identical to an
+    // uninterrupted one
+    cfg.base.load_balancing = false;
+    cfg.base.record_samples = true;
+    cfg.n_workers = 1;
+    let store = args.run_store();
+    let desc = format!(
+        "scaling_live ckpt v1 samples={samples:?} chains={chains:?} burn={burn_in:?} seed={}",
+        args.seed
+    );
+    let config_hash = fnv1a(desc.as_bytes());
+
+    println!(
+        "\ndurable runs: snapshot every {every} top-level corrections -> {}",
+        store.root().display()
+    );
+    let n_snaps = AtomicUsize::new(0);
+    let hook = |done: usize, hash: &str| {
+        let k = n_snaps.fetch_add(1, Ordering::SeqCst) + 1;
+        eprintln!("  snapshot {k}: {hash} @ {done} top-level corrections");
+        if args.crash_at == Some(k) {
+            eprintln!("  --crash-at {k}: aborting mid-run");
+            std::process::abort();
+        }
+    };
+    let ckpt = ParallelCheckpoint {
+        store: &store,
+        config_hash,
+        every,
+        on_snapshot: Some(&hook),
+    };
+
+    let report = if args.resume {
+        let (hash, snap) = store
+            .latest_snapshot(Some(config_hash))
+            .expect("run store must be readable")
+            .expect("--resume: no snapshot for this configuration in the store");
+        println!(
+            "  resuming from snapshot {hash} ({} top-level corrections done)",
+            snap.samples_done
+        );
+        run_runtime_ckpt(&h, &cfg, &Tracer::disabled(), Some(&ckpt), Some(&snap))
+    } else {
+        run_runtime_ckpt(&h, &cfg, &Tracer::disabled(), Some(&ckpt), None)
+    };
+    assert!(
+        n_snaps.load(Ordering::SeqCst) > 0 || args.resume,
+        "the checkpointed run must take at least one snapshot"
+    );
+
+    // whether fresh, resumed after --crash-at, or checkpointed along
+    // the way: the report must match an uninterrupted run exactly
+    let uninterrupted = run_runtime(&h, &cfg, &Tracer::disabled());
+    assert_identical(&report, &uninterrupted);
+    if !args.resume {
+        let (hash, snap) = store
+            .latest_snapshot(Some(config_hash))
+            .expect("run store must be readable")
+            .expect("no snapshot recorded");
+        let resumed = run_runtime_ckpt(&h, &cfg, &Tracer::disabled(), None, Some(&snap));
+        assert_identical(&resumed, &uninterrupted);
+        println!("  resume from snapshot {hash}: bit-identical to the uninterrupted run ✓");
+    } else {
+        println!("  resumed run: bit-identical to the uninterrupted run ✓");
+    }
+
+    let levels: Vec<String> = report
+        .report
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(level, l)| {
+            format!(
+                "{{ \"level\": {level}, \"n\": {}, \"mean_correction\": {:?}, \
+                 \"mean_bits\": {:?}, \"var_bits\": {:?} }}",
+                l.n_samples,
+                l.mean_correction,
+                l.mean_correction
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                l.var_correction
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            )
+        })
+        .collect();
+    let mut json = BenchJson::new();
+    json.field("pr", 6)
+        .field_str("backend", "runtime")
+        .field_str("config", &format!("{config_hash:016x}"))
+        .field("seed", args.seed)
+        .field("n_workers", 1)
+        .field("samples_per_level", format!("{samples:?}"))
+        .field("chains_per_level", format!("{chains:?}"))
+        .field("burn_in", format!("{burn_in:?}"))
+        .array("levels", &levels)
+        .field("estimate", format!("{:?}", report.report.expectation()));
+    write_bench(&args.out_dir, "BENCH_PR6.json", &json.finish());
+    println!("durable runs: all checks passed");
+}
+
+/// Bit-exact equality of two runtime reports (estimates, variances and
+/// recorded sample streams; evaluation counters and timing excluded —
+/// a resumed run legitimately repeats the rebuild evaluations).
+fn assert_identical(a: &RuntimeReport, b: &RuntimeReport) {
+    assert_eq!(a.report.levels.len(), b.report.levels.len());
+    for (x, y) in a.report.levels.iter().zip(&b.report.levels) {
+        assert_eq!(x.n_samples, y.n_samples);
+        let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&x.mean_correction), bits(&y.mean_correction));
+        assert_eq!(bits(&x.var_correction), bits(&y.var_correction));
+        assert_eq!(x.theta_samples, y.theta_samples);
+        assert_eq!(x.correction_pairs, y.correction_pairs);
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -466,6 +659,12 @@ fn main() {
         return;
     }
     assert_eq!(args.model, "gauss", "--model must be gauss or swe");
+    if args.checkpoint_every > 0 || args.resume || args.crash_at.is_some() {
+        // dedicated durable-runs invocation: the crash-injection
+        // harness (and `ci.yml`) drives these flags standalone
+        checkpoint_study(&args);
+        return;
+    }
     let workers = 8usize;
 
     // ---------------- 1. validation ----------------
@@ -493,7 +692,7 @@ fn main() {
     let rt = run_runtime(&h_plain, &rt_cfg, &Tracer::disabled());
 
     let mut val_rows = Vec::new();
-    let mut val_json = String::new();
+    let mut val_items: Vec<String> = Vec::new();
     for level in 0..val_samples.len() {
         let a = &sched.levels[level];
         let b = &rt.report.levels[level];
@@ -520,18 +719,11 @@ fn main() {
             format!("{:.4}", diff),
             format!("{:.4}", tol),
         ]);
-        let comma = if level + 1 == val_samples.len() {
-            ""
-        } else {
-            ","
-        };
-        writeln!(
-            val_json,
-            "    {{ \"level\": {level}, \"n\": {}, \"scheduler_mean\": {:.6}, \
-             \"runtime_mean\": {:.6}, \"diff\": {:.6}, \"tol\": {:.6} }}{comma}",
+        val_items.push(format!(
+            "{{ \"level\": {level}, \"n\": {}, \"scheduler_mean\": {:.6}, \
+             \"runtime_mean\": {:.6}, \"diff\": {:.6}, \"tol\": {:.6} }}",
             a.n_samples, a.mean_correction[0], b.mean_correction[0], diff, tol
-        )
-        .unwrap();
+        ));
     }
     println!(
         "{}",
@@ -725,16 +917,14 @@ fn main() {
          wall-clock prediction for THIS machine;\n 'DES 1-rank-per-cpu' is the cluster-setting \
          makespan the paper measures — unreachable on {effective_cores} core(s).)\n"
     );
-    write_output(
+    write_bench_csv(
         &args.out_dir,
         "scaling_live.csv",
-        &to_csv(
-            "ranks,elapsed_s,throughput,des_pred_elapsed_s,overhead_ratio,des_makespan_s,\
-             des_busy_s,mean_batch,max_batch,polls,wakeups,dropped_sends,reassignments,\
-             ledger_serves,diverged_frac,steals,spec_launched,spec_hits,spec_misses,\
-             spec_hit_rate,des_nospec_pred_elapsed_s,overhead_vs_pr4",
-            &csv,
-        ),
+        "ranks,elapsed_s,throughput,des_pred_elapsed_s,overhead_ratio,des_makespan_s,\
+         des_busy_s,mean_batch,max_batch,polls,wakeups,dropped_sends,reassignments,\
+         ledger_serves,diverged_frac,steals,spec_launched,spec_hits,spec_misses,\
+         spec_hit_rate,des_nospec_pred_elapsed_s,overhead_vs_pr4",
+        &csv,
     );
 
     // acceptance: ≥ 512 virtual ranks live on ≤ 8 workers
@@ -824,94 +1014,97 @@ fn main() {
     );
 
     // ---------------- 3. BENCH_PR3.json ----------------
-    let mut json = String::from("{\n  \"pr\": 3,\n");
-    writeln!(json, "  \"workers\": {workers},").unwrap();
-    writeln!(json, "  \"effective_cores\": {effective_cores},").unwrap();
-    writeln!(json, "  \"collector_shards\": {shards},").unwrap();
-    json.push_str("  \"validation\": [\n");
-    json.push_str(&val_json);
-    json.push_str("  ],\n  \"scaling_live\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 == points.len() { "" } else { "," };
-        writeln!(
-            json,
-            "    {{ \"ranks\": {}, \"chains\": {:?}, \"elapsed_s\": {:.3}, \
-             \"throughput_samples_per_s\": {:.1}, \"des_pred_elapsed_s\": {:.3}, \
-             \"overhead_ratio\": {:.3}, \"des_makespan_s\": {:.3}, \"des_busy_s\": {:.3}, \
-             \"evals_per_level\": {:?}, \"des_evals_per_level\": {:?}, \"mean_batch\": {:.2}, \
-             \"max_batch\": {}, \"polls\": {}, \"wakeups\": {}, \"dropped_sends\": {}, \
-             \"reassignments\": {}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
-             \"steals\": {} }}{comma}",
-            p.ranks,
-            p.chains,
-            p.elapsed,
-            p.throughput,
-            p.pred_elapsed,
-            p.elapsed / p.pred_elapsed,
-            p.des_makespan,
-            p.des_busy,
-            p.evals,
-            p.des_evals,
-            p.mean_batch,
-            p.max_batch,
-            p.polls,
-            p.wakeups,
-            p.dropped_sends,
-            p.reassignments,
-            p.ledger_serves,
-            p.diverged_frac,
-            p.steals
-        )
-        .unwrap();
-    }
-    json.push_str("  ]\n}\n");
-    write_output(&args.out_dir, "BENCH_PR3.json", &json);
+    let sweep_items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"ranks\": {}, \"chains\": {:?}, \"elapsed_s\": {:.3}, \
+                 \"throughput_samples_per_s\": {:.1}, \"des_pred_elapsed_s\": {:.3}, \
+                 \"overhead_ratio\": {:.3}, \"des_makespan_s\": {:.3}, \"des_busy_s\": {:.3}, \
+                 \"evals_per_level\": {:?}, \"des_evals_per_level\": {:?}, \"mean_batch\": {:.2}, \
+                 \"max_batch\": {}, \"polls\": {}, \"wakeups\": {}, \"dropped_sends\": {}, \
+                 \"reassignments\": {}, \"ledger_serves\": {}, \"diverged_frac\": {:.3}, \
+                 \"steals\": {} }}",
+                p.ranks,
+                p.chains,
+                p.elapsed,
+                p.throughput,
+                p.pred_elapsed,
+                p.elapsed / p.pred_elapsed,
+                p.des_makespan,
+                p.des_busy,
+                p.evals,
+                p.des_evals,
+                p.mean_batch,
+                p.max_batch,
+                p.polls,
+                p.wakeups,
+                p.dropped_sends,
+                p.reassignments,
+                p.ledger_serves,
+                p.diverged_frac,
+                p.steals
+            )
+        })
+        .collect();
+    let mut json = BenchJson::new();
+    json.field("pr", 3)
+        .field("workers", workers)
+        .field("effective_cores", effective_cores)
+        .field("collector_shards", shards)
+        .array("validation", &val_items)
+        .array("scaling_live", &sweep_items);
+    write_bench(&args.out_dir, "BENCH_PR3.json", &json.finish());
 
     // ---------------- 4. BENCH_PR5.json ----------------
     // the speculative-serving artifact: per-rank-count hit rates and the
     // overhead ratio against both DES baselines (speculation-aware =
     // model tracking; non-speculative = the PR-4 band the tentpole is
     // measured against), plus the reused pool's lifetime counters
-    let mut json5 = String::from("{\n  \"pr\": 5,\n");
-    writeln!(json5, "  \"workers\": {workers},").unwrap();
-    writeln!(json5, "  \"effective_cores\": {effective_cores},").unwrap();
-    writeln!(json5, "  \"pr4_overhead_band\": [1.21, 1.32],").unwrap();
-    writeln!(
-        json5,
-        "  \"pool_lifetime\": {{ \"polls\": {}, \"wakeups\": {}, \"dropped_sends\": {}, \
-         \"steals\": {} }},",
-        sweep_lifetime.polls,
-        sweep_lifetime.wakeups,
-        sweep_lifetime.dropped_sends,
-        sweep_lifetime.steals
-    )
-    .unwrap();
-    json5.push_str("  \"sweep\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 == points.len() { "" } else { "," };
-        writeln!(
-            json5,
-            "    {{ \"ranks\": {}, \"elapsed_s\": {:.3}, \"serves\": {}, \
-             \"spec_launched\": {}, \"spec_hits\": {}, \"spec_misses\": {}, \
-             \"spec_hit_rate\": {:.3}, \"diverged_frac\": {:.3}, \
-             \"des_pred_elapsed_s\": {:.3}, \"overhead_ratio\": {:.3}, \
-             \"des_nospec_pred_elapsed_s\": {:.3}, \"overhead_vs_pr4\": {:.3} }}{comma}",
-            p.ranks,
-            p.elapsed,
-            p.ledger_serves,
-            p.spec_launched,
-            p.spec_hits,
-            p.spec_misses,
-            p.hit_rate,
-            p.diverged_frac,
-            p.pred_elapsed,
-            p.elapsed / p.pred_elapsed,
-            p.pred_nospec_elapsed,
-            p.elapsed / p.pred_nospec_elapsed
+    let spec_items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"ranks\": {}, \"elapsed_s\": {:.3}, \"serves\": {}, \
+                 \"spec_launched\": {}, \"spec_hits\": {}, \"spec_misses\": {}, \
+                 \"spec_hit_rate\": {:.3}, \"diverged_frac\": {:.3}, \
+                 \"des_pred_elapsed_s\": {:.3}, \"overhead_ratio\": {:.3}, \
+                 \"des_nospec_pred_elapsed_s\": {:.3}, \"overhead_vs_pr4\": {:.3} }}",
+                p.ranks,
+                p.elapsed,
+                p.ledger_serves,
+                p.spec_launched,
+                p.spec_hits,
+                p.spec_misses,
+                p.hit_rate,
+                p.diverged_frac,
+                p.pred_elapsed,
+                p.elapsed / p.pred_elapsed,
+                p.pred_nospec_elapsed,
+                p.elapsed / p.pred_nospec_elapsed
+            )
+        })
+        .collect();
+    let mut json5 = BenchJson::new();
+    json5
+        .field("pr", 5)
+        .field("workers", workers)
+        .field("effective_cores", effective_cores)
+        .field("pr4_overhead_band", "[1.21, 1.32]")
+        .field(
+            "pool_lifetime",
+            format!(
+                "{{ \"polls\": {}, \"wakeups\": {}, \"dropped_sends\": {}, \"steals\": {} }}",
+                sweep_lifetime.polls,
+                sweep_lifetime.wakeups,
+                sweep_lifetime.dropped_sends,
+                sweep_lifetime.steals
+            ),
         )
-        .unwrap();
-    }
-    json5.push_str("  ]\n}\n");
-    write_output(&args.out_dir, "BENCH_PR5.json", &json5);
+        .array("sweep", &spec_items);
+    write_bench(&args.out_dir, "BENCH_PR5.json", &json5.finish());
+
+    // ---------------- 5. durable runs (PR 6) ----------------
+    checkpoint_study(&args);
     println!("\nscaling_live: all checks passed");
 }

@@ -13,6 +13,7 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use uq_mlmcmc::RunStore;
 
 /// Parsed common command-line options for experiment binaries.
 #[derive(Clone, Debug)]
@@ -26,17 +27,30 @@ pub struct ExpArgs {
     /// Model selector for experiments that drive more than one forward
     /// model (e.g. `scaling_live`: `gauss` (default) or `swe`).
     pub model: String,
+    /// Persist a consistent-cut snapshot to the run store every this
+    /// many recorded top-level corrections (0 = checkpointing off).
+    pub checkpoint_every: usize,
+    /// Resume from the latest matching snapshot in the run store
+    /// instead of starting from scratch.
+    pub resume: bool,
+    /// Crash-injection: abort the process at the n-th snapshot (the
+    /// equivalence harness re-launches with `--resume`).
+    pub crash_at: Option<usize>,
 }
 
 impl ExpArgs {
     /// Parse from `std::env::args`. Recognizes `--paper`,
-    /// `--out <dir>`, `--seed <n>`, `--model <name>`.
+    /// `--out <dir>`, `--seed <n>`, `--model <name>`,
+    /// `--checkpoint-every <n>`, `--resume`, `--crash-at <n>`.
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             paper: false,
             out_dir: PathBuf::from("results"),
             seed: 20210730,
             model: String::from("gauss"),
+            checkpoint_every: 0,
+            resume: false,
+            crash_at: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
@@ -55,13 +69,98 @@ impl ExpArgs {
                 "--model" => {
                     args.model = iter.next().expect("--model needs a value");
                 }
+                "--checkpoint-every" => {
+                    args.checkpoint_every = iter
+                        .next()
+                        .expect("--checkpoint-every needs a value")
+                        .parse()
+                        .expect("--checkpoint-every must be an integer");
+                }
+                "--resume" => args.resume = true,
+                "--crash-at" => {
+                    args.crash_at = Some(
+                        iter.next()
+                            .expect("--crash-at needs a value")
+                            .parse()
+                            .expect("--crash-at must be an integer"),
+                    );
+                }
                 other => {
-                    panic!("unknown argument: {other} (expected --paper/--out/--seed/--model)")
+                    panic!(
+                        "unknown argument: {other} (expected --paper/--out/--seed/--model/\
+                         --checkpoint-every/--resume/--crash-at)"
+                    )
                 }
             }
         }
         args
     }
+
+    /// Open the content-addressed run store that indexes this
+    /// invocation's artifacts and snapshots: `<out_dir>/store`.
+    pub fn run_store(&self) -> RunStore {
+        RunStore::open(self.out_dir.join("store")).expect("cannot open run store")
+    }
+}
+
+/// Incremental builder for the hand-rolled `BENCH_*.json` artifacts.
+/// Centralizes the indentation and trailing-comma bookkeeping that was
+/// previously duplicated (and had started to drift) across the
+/// experiment binaries; [`write_bench`] then lands the result both on
+/// disk and in the run-store manifest.
+#[derive(Default)]
+pub struct BenchJson {
+    parts: Vec<String>,
+}
+
+impl BenchJson {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Top-level field with a raw (already JSON-rendered) value:
+    /// numbers, booleans, `{:?}`-printed numeric lists.
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.parts.push(format!("  \"{key}\": {value}"));
+        self
+    }
+
+    /// Top-level string field (the value is quoted).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.parts.push(format!("  \"{key}\": \"{value}\""));
+        self
+    }
+
+    /// Top-level array of pre-rendered JSON items (typically one
+    /// `{ ... }` object per line).
+    pub fn array(&mut self, key: &str, items: &[String]) -> &mut Self {
+        let body: Vec<String> = items.iter().map(|i| format!("    {i}")).collect();
+        self.parts
+            .push(format!("  \"{key}\": [\n{}\n  ]", body.join(",\n")));
+        self
+    }
+
+    /// Render the complete JSON document.
+    pub fn finish(&self) -> String {
+        format!("{{\n{}\n}}\n", self.parts.join(",\n"))
+    }
+}
+
+/// Write a bench artifact to `<out_dir>/<name>` **and** register it in
+/// the run-store manifest (`<out_dir>/store/manifest.jsonl`), turning
+/// the ad-hoc output file into a queryable run record.
+pub fn write_bench(out_dir: &Path, name: &str, content: &str) -> PathBuf {
+    let path = write_output(out_dir, name, content);
+    RunStore::open(out_dir.join("store"))
+        .and_then(|store| store.record_bench(name, content))
+        .expect("cannot register bench artifact in the run store");
+    path
+}
+
+/// [`write_bench`] for CSV artifacts: format with [`to_csv`], write,
+/// and register in the run-store manifest.
+pub fn write_bench_csv(out_dir: &Path, name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    write_bench(out_dir, name, &to_csv(header, rows))
 }
 
 /// Write `content` to `<out_dir>/<name>`, creating the directory.
@@ -245,6 +344,33 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("level"));
         assert!(lines[3].ends_with("22.75"));
+    }
+
+    #[test]
+    fn bench_json_builder_and_manifest_registration() {
+        let dir = std::env::temp_dir().join(format!("uq-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut j = BenchJson::new();
+        j.field("pr", 6).field_str("model", "gauss").array(
+            "sweep",
+            &[
+                "{ \"ranks\": 1 }".to_string(),
+                "{ \"ranks\": 2 }".to_string(),
+            ],
+        );
+        let json = j.finish();
+        assert_eq!(
+            json,
+            "{\n  \"pr\": 6,\n  \"model\": \"gauss\",\n  \"sweep\": [\n    { \"ranks\": 1 },\n    { \"ranks\": 2 }\n  ]\n}\n"
+        );
+        let p = write_bench(&dir, "BENCH_T.json", &json);
+        assert_eq!(std::fs::read_to_string(p).unwrap(), json);
+        let store = RunStore::open(dir.join("store")).unwrap();
+        let recs = store.manifest_records().unwrap();
+        assert!(recs
+            .iter()
+            .any(|r| r.get("kind") == Some("bench") && r.get("name") == Some("BENCH_T.json")));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

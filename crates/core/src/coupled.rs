@@ -38,7 +38,7 @@ use uq_mcmc::{Proposal, SamplingProblem};
 /// A state of the next-coarser chain, shipped with its cached log-density
 /// and QOI so the fine chain never re-evaluates the coarse model, plus
 /// the serving chain's own (recursive) anchor for exact rewinding.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoarseSample {
     pub theta: Vec<f64>,
     pub log_density: f64,
@@ -79,6 +79,44 @@ pub enum CoarseAcquire {
     Pending,
 }
 
+/// The full logical state of an [`MlChain`] as plain data, for
+/// checkpointing (see `uq_core::store`): sampling state, counters,
+/// coupled bookkeeping, and — for sequential serving stacks — the
+/// recursive [`SourceState`] of the owned coarse source. Everything a
+/// freshly built chain needs to continue the run bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainState {
+    pub steps: usize,
+    pub accepted: usize,
+    pub theta: Vec<f64>,
+    pub log_density: f64,
+    pub qoi: Vec<f64>,
+    /// Coupled chains only: the coarse anchor of the current state.
+    pub anchor: Option<CoarseSample>,
+    /// Coupled chains only: the most recent step's coarse proposal.
+    pub last_coarse: Option<CoarseSample>,
+    /// Coupled chains only: the most recent step's pairing mate.
+    pub last_pairing: Option<CoarseSample>,
+    /// State of the coarse-proposal source, when it carries any
+    /// (sequential [`ChainCoarseSource`] stacks; `None` for level-0
+    /// chains and for remote/pending sources, whose state lives in the
+    /// phonebook ledger).
+    pub source: Option<Box<SourceState>>,
+}
+
+/// Checkpoint state of a [`ChainCoarseSource`]: its single-requester
+/// ledger-session cursor plus the owned coarse chain, recursively.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceState {
+    /// `None` only if no serve has happened yet and the seed was never
+    /// pinned (it would be drawn from the caller's RNG on first use).
+    pub session_seed: Option<u64>,
+    pub serves: u64,
+    pub diverged_serves: u64,
+    pub pairing: Option<CoarseSample>,
+    pub chain: ChainState,
+}
+
 /// Where a coupled chain gets its coarse proposals from.
 ///
 /// Sequential MLMCMC uses [`ChainCoarseSource`] (an in-process recursive
@@ -114,6 +152,19 @@ pub trait CoarseProposalSource: Send {
     /// Evaluate density, QOI and (recursively) the sub-anchor at an
     /// arbitrary point — needed once for the fine chain's starting state.
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample;
+
+    /// Export this source's checkpoint state, if it carries any.
+    /// Stateless sources (remote proxies, pending sources — whose
+    /// logical state lives in the phonebook ledger) return `None`,
+    /// which is the default.
+    fn export_state(&self) -> Option<SourceState> {
+        None
+    }
+
+    /// Restore checkpoint state captured by
+    /// [`export_state`](Self::export_state). The default ignores it
+    /// (stateless sources).
+    fn import_state(&mut self, _state: SourceState) {}
 }
 
 /// What [`MlChain::poll_step`] did.
@@ -343,6 +394,69 @@ impl MlChain {
         }
     }
 
+    /// Export the chain's full logical state as plain data (recursively
+    /// through sequential serving stacks) for checkpointing. Feeding the
+    /// result to [`import_state`](Self::import_state) on a freshly built
+    /// identical chain continues the run bit-for-bit.
+    pub fn export_state(&self) -> ChainState {
+        let (anchor, last_coarse, last_pairing, source) = match &self.kind {
+            Kind::Base { .. } => (None, None, None, None),
+            Kind::Coupled {
+                source,
+                anchor,
+                last_coarse,
+                last_pairing,
+                ..
+            } => (
+                Some(anchor.clone()),
+                last_coarse.clone(),
+                last_pairing.clone(),
+                source.export_state().map(Box::new),
+            ),
+        };
+        ChainState {
+            steps: self.steps,
+            accepted: self.accepted,
+            theta: self.state.theta.clone(),
+            log_density: self.state.log_density,
+            qoi: self.state.qoi.clone(),
+            anchor,
+            last_coarse,
+            last_pairing,
+            source,
+        }
+    }
+
+    /// Restore state captured by [`export_state`](Self::export_state)
+    /// onto a chain built with the same factory/topology. No model
+    /// evaluations happen — everything is cached in the state.
+    pub fn import_state(&mut self, cs: ChainState) {
+        self.steps = cs.steps;
+        self.accepted = cs.accepted;
+        self.state = SamplingState {
+            theta: cs.theta,
+            log_density: cs.log_density,
+            qoi: cs.qoi,
+        };
+        if let Kind::Coupled {
+            source,
+            anchor,
+            last_coarse,
+            last_pairing,
+            ..
+        } = &mut self.kind
+        {
+            if let Some(a) = cs.anchor {
+                *anchor = a;
+            }
+            *last_coarse = cs.last_coarse;
+            *last_pairing = cs.last_pairing;
+            if let Some(ss) = cs.source {
+                source.import_state(*ss);
+            }
+        }
+    }
+
     /// Advance one step; returns whether the proposal was accepted.
     ///
     /// # Panics
@@ -541,6 +655,24 @@ impl CoarseProposalSource for ChainCoarseSource {
 
     fn anchor_at(&mut self, theta: &[f64]) -> CoarseSample {
         self.chain.anchor_at(theta)
+    }
+
+    fn export_state(&self) -> Option<SourceState> {
+        Some(SourceState {
+            session_seed: self.session_seed,
+            serves: self.serves,
+            diverged_serves: self.diverged_serves,
+            pairing: self.pairing.clone(),
+            chain: self.chain.export_state(),
+        })
+    }
+
+    fn import_state(&mut self, state: SourceState) {
+        self.session_seed = state.session_seed;
+        self.serves = state.serves;
+        self.diverged_serves = state.diverged_serves;
+        self.pairing = state.pairing;
+        self.chain.import_state(state.chain);
     }
 }
 
@@ -967,6 +1099,34 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(12);
         fine.step(&mut rng);
+    }
+
+    #[test]
+    fn export_import_continues_recursive_stack_bit_for_bit() {
+        // three-level stack: run 300 steps, export, rebuild a fresh
+        // identical stack, import, and require the continuation to match
+        // the uninterrupted chain exactly (same caller RNG position)
+        let h = GaussianHierarchy::three_level(2);
+        let mut chain = build_chain_stack(&h, 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..300 {
+            chain.step(&mut rng);
+        }
+        let state = chain.export_state();
+        assert!(state.source.is_some(), "stack must export recursively");
+        let rng_state = rng.state();
+
+        let mut resumed = build_chain_stack(&h, 2);
+        resumed.import_state(state.clone());
+        assert_eq!(resumed.export_state(), state, "import/export roundtrip");
+        let mut rng_resumed = StdRng::from_state(rng_state);
+        for _ in 0..300 {
+            let a = chain.step(&mut rng);
+            let b = resumed.step(&mut rng_resumed);
+            assert_eq!(a, b, "acceptance decisions diverged after resume");
+            assert_eq!(chain.state().theta, resumed.state().theta);
+        }
+        assert_eq!(chain.export_state(), resumed.export_state());
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::counting::{CountingProblem, EvalCounter};
 use crate::coupled::{build_chain_stack, MlChain};
 use crate::factory::LevelFactory;
 use crate::ledger::PairingMode;
-use rand::Rng;
+use crate::store::{Backend, LevelReportCkpt, RunSnapshot, RunStore, SequentialCkpt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use uq_mcmc::stats::{integrated_autocorrelation_time, VectorMoments};
 use uq_mcmc::{Proposal, SamplingProblem};
 
@@ -292,6 +294,287 @@ pub fn run_sequential(
     MlmcmcReport { levels }
 }
 
+impl LevelReportCkpt {
+    fn from_report(report: &LevelReport) -> Self {
+        LevelReportCkpt {
+            level: report.level,
+            n_samples: report.n_samples,
+            acceptance_rate: report.acceptance_rate,
+            mean_correction: report.mean_correction.clone(),
+            var_correction: report.var_correction.clone(),
+            iact: report.iact,
+            theta_samples: report.theta_samples.clone(),
+            qoi_samples: report.qoi_samples.clone(),
+            correction_pairs: report.correction_pairs.clone(),
+        }
+    }
+
+    fn into_report(self) -> LevelReport {
+        LevelReport {
+            level: self.level,
+            n_samples: self.n_samples,
+            acceptance_rate: self.acceptance_rate,
+            mean_correction: self.mean_correction,
+            var_correction: self.var_correction,
+            iact: self.iact,
+            evaluations: 0, // filled in by the driver from counters + offsets
+            mean_eval_ms: 0.0,
+            theta_samples: self.theta_samples,
+            qoi_samples: self.qoi_samples,
+            correction_pairs: self.correction_pairs,
+        }
+    }
+}
+
+/// Post-snapshot hook, called with `(snapshot ordinal, content hash)`.
+pub type SnapshotHook<'a> = dyn Fn(usize, &str) + 'a;
+
+/// Where and how often the checkpointable sequential driver snapshots.
+pub struct CheckpointSpec<'a> {
+    /// Destination run store.
+    pub store: &'a RunStore,
+    /// Configuration hash stamped into each snapshot header (resume
+    /// refuses snapshots taken under a different configuration).
+    pub config_hash: u64,
+    /// Snapshot every `every` recorded samples (global count across
+    /// all telescoping terms; burn-in steps never checkpoint).
+    pub every: usize,
+    /// Called after each snapshot with `(ordinal, content hash)` — the
+    /// crash-injection harness aborts the process from here.
+    pub on_snapshot: Option<&'a SnapshotHook<'a>>,
+}
+
+/// In-progress accumulators of one telescoping term.
+struct TermCursor {
+    moments: VectorMoments,
+    rep_trace: Vec<f64>,
+    theta_samples: Vec<Vec<f64>>,
+    qoi_samples: Vec<Vec<f64>>,
+    correction_pairs: Vec<(Vec<f64>, Vec<f64>)>,
+    samples_done: usize,
+}
+
+impl TermCursor {
+    fn fresh(qoi_dim: usize) -> Self {
+        TermCursor {
+            moments: VectorMoments::new(qoi_dim),
+            rep_trace: Vec::new(),
+            theta_samples: Vec::new(),
+            qoi_samples: Vec::new(),
+            correction_pairs: Vec::new(),
+            samples_done: 0,
+        }
+    }
+}
+
+/// Checkpointable sequential MLMCMC: [`run_sequential`] with the same
+/// step-for-step RNG call order, plus periodic consistent snapshots to
+/// a [`RunStore`] and the ability to resume from one bit-for-bit.
+///
+/// Unlike [`run_sequential`] this driver owns its RNG (seeded from
+/// `seed`, or restored from the snapshot's captured stream position on
+/// resume) because checkpointing must capture the generator state.
+/// With `checkpoint = None` and `resume = None` it produces exactly the
+/// report `run_sequential` produces for an `StdRng` seeded with `seed`.
+///
+/// Timing columns (`mean_eval_ms`) are wall-clock measurements, not
+/// logical state: a resumed run reports timings of the resumed portion
+/// only. Evaluation *counts* are restored exactly via per-level offsets
+/// recorded in the snapshot.
+///
+/// # Panics
+///
+/// Panics if `resume` holds a snapshot from a different backend or
+/// base seed (config mismatches are already rejected at decode time
+/// via the header hash).
+pub fn run_sequential_ckpt(
+    factory: &dyn LevelFactory,
+    config: &MlmcmcConfig,
+    seed: u64,
+    checkpoint: Option<&CheckpointSpec<'_>>,
+    resume: Option<&RunSnapshot>,
+) -> MlmcmcReport {
+    let n_levels = config.samples_per_level.len();
+    assert!(
+        n_levels >= 1,
+        "run_sequential_ckpt: need at least one level"
+    );
+    assert!(
+        n_levels <= factory.n_levels(),
+        "run_sequential_ckpt: more levels requested than the factory provides"
+    );
+    let counting = CountingFactory {
+        inner: factory,
+        counters: (0..factory.n_levels())
+            .map(|_| EvalCounter::new())
+            .collect(),
+    };
+
+    let cursor = resume.map(|snap| {
+        assert_eq!(
+            snap.backend,
+            Backend::Sequential,
+            "run_sequential_ckpt: snapshot was taken by the {} backend",
+            snap.backend
+        );
+        assert_eq!(
+            snap.seed, seed,
+            "run_sequential_ckpt: snapshot seed mismatch"
+        );
+        snap.sequential
+            .as_ref()
+            .expect("sequential snapshot missing its cursor section")
+    });
+
+    let mut rng = match cursor {
+        None => StdRng::seed_from_u64(seed),
+        Some(c) => StdRng::from_state(c.rng),
+    };
+    let mut eval_offsets = vec![0usize; factory.n_levels()];
+    let mut levels: Vec<LevelReport> = Vec::with_capacity(n_levels);
+    let start_level = match cursor {
+        None => 0,
+        Some(c) => {
+            for (dst, &off) in eval_offsets.iter_mut().zip(&c.eval_offsets) {
+                *dst = off;
+            }
+            levels.extend(
+                c.completed
+                    .iter()
+                    .cloned()
+                    .map(LevelReportCkpt::into_report),
+            );
+            c.level
+        }
+    };
+    let mut total_recorded: usize = levels.iter().map(|l| l.n_samples).sum();
+    let mut snapshots_taken = 0usize;
+
+    for level in start_level..n_levels {
+        let resuming_term = cursor.filter(|c| c.level == level);
+        let pre_build: Vec<usize> = counting.counters.iter().map(|c| c.evaluations()).collect();
+        let mut chain = build_chain_stack(&counting, level);
+        if resuming_term.is_some() {
+            // rebuilding the stack re-evaluates each level's initial
+            // state; the original construction is already inside the
+            // offsets, so discount the rebuild to keep counts exact
+            for (k, counter) in counting.counters.iter().enumerate() {
+                let rebuild = counter.evaluations() - pre_build[k];
+                debug_assert!(eval_offsets[k] >= rebuild);
+                eval_offsets[k] = eval_offsets[k].saturating_sub(rebuild);
+            }
+        }
+        let mut term = match resuming_term {
+            None => {
+                for _ in 0..config.burn_in[level] {
+                    chain.step(&mut rng);
+                }
+                TermCursor::fresh(chain.state().qoi.len())
+            }
+            Some(c) => {
+                chain.import_state(c.chain.clone());
+                TermCursor {
+                    moments: VectorMoments::from_parts(&c.moments),
+                    rep_trace: c.rep_trace.clone(),
+                    theta_samples: c.theta_samples.clone(),
+                    qoi_samples: c.qoi_samples.clone(),
+                    correction_pairs: c.correction_pairs.clone(),
+                    samples_done: c.samples_done,
+                }
+            }
+        };
+        let n_samples = config.samples_per_level[level];
+        let qoi_dim = chain.state().qoi.len();
+        let rep = config
+            .representative_component
+            .min(qoi_dim.saturating_sub(1));
+        while term.samples_done < n_samples {
+            chain.step(&mut rng);
+            let fine_qoi = chain.state().qoi.clone();
+            let paired = match config.pairing {
+                PairingMode::Proposal => chain.last_coarse(),
+                PairingMode::Ledger => chain.last_pairing(),
+            };
+            let correction: Vec<f64> = match paired {
+                None => fine_qoi.clone(),
+                Some(coarse) => fine_qoi
+                    .iter()
+                    .zip(&coarse.qoi)
+                    .map(|(f, c)| f - c)
+                    .collect(),
+            };
+            term.moments.push(&correction);
+            term.rep_trace.push(fine_qoi[rep]);
+            if config.record_samples {
+                term.theta_samples.push(chain.state().theta.clone());
+                if let Some(coarse) = chain.last_coarse() {
+                    term.correction_pairs
+                        .push((coarse.qoi.clone(), fine_qoi.clone()));
+                }
+                term.qoi_samples.push(fine_qoi);
+            }
+            term.samples_done += 1;
+            total_recorded += 1;
+            if let Some(spec) = checkpoint {
+                if spec.every > 0 && total_recorded.is_multiple_of(spec.every) {
+                    let snap = RunSnapshot {
+                        backend: Backend::Sequential,
+                        seed,
+                        samples_done: total_recorded,
+                        chains: Vec::new(),
+                        collectors: Vec::new(),
+                        ledger: None,
+                        sequential: Some(SequentialCkpt {
+                            level,
+                            samples_done: term.samples_done,
+                            chain: chain.export_state(),
+                            rng: rng.state(),
+                            moments: term.moments.parts(),
+                            rep_trace: term.rep_trace.clone(),
+                            theta_samples: term.theta_samples.clone(),
+                            qoi_samples: term.qoi_samples.clone(),
+                            correction_pairs: term.correction_pairs.clone(),
+                            completed: levels.iter().map(LevelReportCkpt::from_report).collect(),
+                            eval_offsets: counting
+                                .counters
+                                .iter()
+                                .zip(&eval_offsets)
+                                .map(|(c, off)| c.evaluations() + off)
+                                .collect(),
+                        }),
+                    };
+                    let hash = spec
+                        .store
+                        .put_snapshot(&snap, spec.config_hash)
+                        .expect("run_sequential_ckpt: snapshot write failed");
+                    snapshots_taken += 1;
+                    if let Some(hook) = spec.on_snapshot {
+                        hook(snapshots_taken, &hash);
+                    }
+                }
+            }
+        }
+        levels.push(LevelReport {
+            level,
+            n_samples,
+            acceptance_rate: chain.acceptance_rate(),
+            mean_correction: term.moments.mean(),
+            var_correction: term.moments.variance(),
+            iact: integrated_autocorrelation_time(&term.rep_trace),
+            evaluations: 0,
+            mean_eval_ms: 0.0,
+            theta_samples: term.theta_samples,
+            qoi_samples: term.qoi_samples,
+            correction_pairs: term.correction_pairs,
+        });
+    }
+    for (level, report) in levels.iter_mut().enumerate() {
+        report.evaluations = counting.counters[level].evaluations() + eval_offsets[level];
+        report.mean_eval_ms = counting.counters[level].mean_eval_ms();
+    }
+    MlmcmcReport { levels }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +681,75 @@ mod tests {
         let report = run_sequential(&h, &config, &mut rng);
         assert_eq!(report.levels.len(), 1);
         assert!((report.expectation()[0] - 0.6).abs() < 0.05);
+    }
+
+    /// Bit-level equality of everything except wall-clock timing.
+    fn assert_reports_identical(a: &MlmcmcReport, b: &MlmcmcReport) {
+        assert_eq!(a.levels.len(), b.levels.len());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.level, y.level);
+            assert_eq!(x.n_samples, y.n_samples);
+            assert_eq!(x.acceptance_rate.to_bits(), y.acceptance_rate.to_bits());
+            assert_eq!(x.mean_correction, y.mean_correction, "level {}", x.level);
+            assert_eq!(x.var_correction, y.var_correction, "level {}", x.level);
+            assert_eq!(x.iact.to_bits(), y.iact.to_bits(), "level {}", x.level);
+            assert_eq!(x.evaluations, y.evaluations, "level {}", x.level);
+            assert_eq!(x.theta_samples, y.theta_samples, "level {}", x.level);
+            assert_eq!(x.qoi_samples, y.qoi_samples, "level {}", x.level);
+            assert_eq!(x.correction_pairs, y.correction_pairs, "level {}", x.level);
+        }
+    }
+
+    #[test]
+    fn ckpt_driver_without_checkpoints_matches_plain_driver() {
+        let h = GaussianHierarchy::three_level(1);
+        let config = MlmcmcConfig::new(vec![800, 200, 80])
+            .with_burn_in(vec![50, 30, 10])
+            .recording();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let plain = run_sequential(&h, &config, &mut rng);
+        let ckpt = run_sequential_ckpt(&h, &config, 2024, None, None);
+        assert_reports_identical(&plain, &ckpt);
+    }
+
+    #[test]
+    fn resume_from_every_snapshot_is_bit_identical() {
+        let h = GaussianHierarchy::three_level(1);
+        let config = MlmcmcConfig::new(vec![300, 120, 50])
+            .with_burn_in(vec![40, 20, 10])
+            .recording();
+        let seed = 77;
+        let uninterrupted = run_sequential_ckpt(&h, &config, seed, None, None);
+
+        let dir = std::env::temp_dir().join(format!("uq-seq-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        let spec = CheckpointSpec {
+            store: &store,
+            config_hash: 11,
+            every: 37, // lands mid-term on every level and across terms
+            on_snapshot: None,
+        };
+        let with_ckpts = run_sequential_ckpt(&h, &config, seed, Some(&spec), None);
+        assert_reports_identical(&uninterrupted, &with_ckpts);
+
+        let records = store.manifest_records().unwrap();
+        let hashes: Vec<String> = records
+            .iter()
+            .filter(|r| r.get("kind") == Some("snapshot"))
+            .map(|r| r.get("hash").unwrap().to_string())
+            .collect();
+        assert!(
+            hashes.len() >= 10,
+            "expected many snapshots, got {}",
+            hashes.len()
+        );
+        for hash in &hashes {
+            let (snap, config_hash) = store.get_snapshot(hash).unwrap();
+            assert_eq!(config_hash, 11);
+            let resumed = run_sequential_ckpt(&h, &config, seed, None, Some(&snap));
+            assert_reports_identical(&uninterrupted, &resumed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

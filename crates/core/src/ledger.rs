@@ -201,7 +201,7 @@ pub fn serve(chain: &mut MlChain, rho: usize, lease: &LedgerLease) -> ServeOutco
 
 /// Aggregate ledger statistics (kept by the phonebooks, reported with
 /// the run).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LedgerStats {
     /// Sessions opened (one per requester/coarse-level pair and
     /// generation).
@@ -302,6 +302,55 @@ struct LedgerSession {
 /// Cap on the per-session speculation miss backoff (write-backs skipped
 /// between speculation attempts after repeated misses).
 const SPEC_BACKOFF_CAP: u32 = 16;
+
+/// Checkpoint state of one parked speculation (public mirror of the
+/// private `Speculation`, flattened for serialization).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeculationState {
+    /// Stream position the speculation was computed for.
+    pub serves: u64,
+    pub proposal: CoarseSample,
+    pub pairing: CoarseSample,
+    pub diverged: bool,
+}
+
+/// Checkpoint state of one ledger session, keyed inline by
+/// `(requester, level)` — the public mirror of the private
+/// `LedgerSession`, with full speculation/backoff fidelity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionState {
+    pub requester: usize,
+    pub level: usize,
+    pub seed: u64,
+    pub serves: u64,
+    pub pairing: Option<CoarseSample>,
+    pub next_anchor: Option<CoarseSample>,
+    /// Stream position of a dispatched-but-unfinished speculation. At a
+    /// quiesced cut this is `None` (the barrier drains in-flight
+    /// serves); kept for fidelity regardless.
+    pub spec_inflight: Option<u64>,
+    pub spec: Option<SpeculationState>,
+    pub spec_backoff: u32,
+    pub spec_cooldown: u32,
+    /// Outstanding real serve. `false` at a quiesced cut.
+    pub real_inflight: bool,
+}
+
+/// The full [`LedgerBook`] as plain data, for checkpointing. All maps
+/// are exported **sorted by key** so identical books always serialize
+/// to identical bytes (the content-addressed store relies on that);
+/// candidate queues preserve their round-robin order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerState {
+    /// Sessions sorted by `(requester, level)`.
+    pub sessions: Vec<SessionState>,
+    /// Generation counters sorted by `(requester, level)`.
+    pub generations: Vec<(usize, usize, u64)>,
+    /// Speculation candidate queues sorted by level, each in queue
+    /// order.
+    pub candidates: Vec<(usize, Vec<usize>)>,
+    pub stats: LedgerStats,
+}
 
 /// The phonebook's per-requester session registry — the rewind ledger
 /// plus its speculation store. Keyed by `(requester rank, coarse
@@ -591,6 +640,93 @@ impl LedgerBook {
             queue.push_back(requester);
         }
     }
+
+    /// Export the whole book as deterministic plain data (sorted keys,
+    /// full session fidelity) for checkpointing.
+    pub fn export_state(&self) -> LedgerState {
+        let mut sessions: Vec<SessionState> = self
+            .sessions
+            .iter()
+            .map(|(&(requester, level), s)| SessionState {
+                requester,
+                level,
+                seed: s.seed,
+                serves: s.serves,
+                pairing: s.pairing.clone(),
+                next_anchor: s.next_anchor.clone(),
+                spec_inflight: s.spec_inflight,
+                spec: s.spec.as_ref().map(|sp| SpeculationState {
+                    serves: sp.serves,
+                    proposal: sp.outcome.proposal.clone(),
+                    pairing: sp.outcome.pairing.clone(),
+                    diverged: sp.outcome.diverged,
+                }),
+                spec_backoff: s.spec_backoff,
+                spec_cooldown: s.spec_cooldown,
+                real_inflight: s.real_inflight,
+            })
+            .collect();
+        sessions.sort_by_key(|s| (s.requester, s.level));
+        let mut generations: Vec<(usize, usize, u64)> = self
+            .generations
+            .iter()
+            .map(|(&(r, l), &g)| (r, l, g))
+            .collect();
+        generations.sort_unstable();
+        let mut candidates: Vec<(usize, Vec<usize>)> = self
+            .candidates
+            .iter()
+            .map(|(&level, queue)| (level, queue.iter().copied().collect()))
+            .collect();
+        candidates.sort_by_key(|&(level, _)| level);
+        LedgerState {
+            sessions,
+            generations,
+            candidates,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a book from state captured by
+    /// [`export_state`](Self::export_state): sessions resume at their
+    /// exact stream positions, so post-resume serves derive the very
+    /// substreams the uninterrupted run would have.
+    pub fn import_state(state: LedgerState) -> Self {
+        let mut book = LedgerBook {
+            stats: state.stats,
+            ..Default::default()
+        };
+        for s in state.sessions {
+            book.sessions.insert(
+                (s.requester, s.level),
+                LedgerSession {
+                    seed: s.seed,
+                    serves: s.serves,
+                    pairing: s.pairing,
+                    next_anchor: s.next_anchor,
+                    spec_inflight: s.spec_inflight,
+                    spec: s.spec.map(|sp| Speculation {
+                        serves: sp.serves,
+                        outcome: ServeOutcome {
+                            proposal: sp.proposal,
+                            pairing: sp.pairing,
+                            diverged: sp.diverged,
+                        },
+                    }),
+                    spec_backoff: s.spec_backoff,
+                    spec_cooldown: s.spec_cooldown,
+                    real_inflight: s.real_inflight,
+                },
+            );
+        }
+        for (r, l, g) in state.generations {
+            book.generations.insert((r, l), g);
+        }
+        for (level, queue) in state.candidates {
+            book.candidates.insert(level, queue.into_iter().collect());
+        }
+        book
+    }
 }
 
 #[cfg(test)]
@@ -828,6 +964,38 @@ mod tests {
             Some(0),
             "old-generation write-back must be a no-op"
         );
+    }
+
+    #[test]
+    fn export_import_resumes_sessions_at_exact_positions() {
+        // run a real serve + a parked speculation, export, rebuild the
+        // book, and require (a) the export to round-trip exactly and
+        // (b) the resumed book to answer the commit path identically
+        let mut chain = base_chain(0.1, 0.9);
+        let mut book = LedgerBook::default();
+        let requester = 3usize;
+        let lease = book.lease(13, 0, requester, anchor(&mut chain, 0.0));
+        let out = serve(&mut chain, 2, &lease);
+        book.write_back(requester, 0, lease.session_seed, 1, &out);
+        let (_, spec_lease) = book.speculative_lease(0).expect("candidate");
+        let spec_out = serve(&mut chain, 2, &spec_lease);
+        assert!(book.store_speculation(requester, 0, spec_lease.session_seed, 2, spec_out.clone()));
+        book.forget_requester(9); // a nontrivial generation entry
+
+        let state = book.export_state();
+        assert_eq!(state.sessions.len(), 1);
+        assert!(state.sessions[0].spec.is_some());
+        let mut resumed = LedgerBook::import_state(state.clone());
+        assert_eq!(resumed.export_state(), state, "round-trip must be exact");
+
+        let mut accepted_anchor = out.proposal.clone();
+        accepted_anchor.mate = None;
+        let a = book.try_commit(requester, 0, &accepted_anchor);
+        let b = resumed.try_commit(requester, 0, &accepted_anchor);
+        assert_eq!(a.as_ref().map(|s| &s.theta), b.as_ref().map(|s| &s.theta));
+        assert_eq!(a.expect("hit").theta, spec_out.proposal.theta);
+        assert_eq!(resumed.session_serves(requester, 0), Some(2));
+        assert_eq!(resumed.stats.spec_hits, book.stats.spec_hits);
     }
 
     #[test]

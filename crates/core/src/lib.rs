@@ -21,7 +21,12 @@
 //!   identically by the sequential source and the parallel phonebooks;
 //! * [`allocate`] — optimal `N_l ∝ √(V_l/C_l)` sample allocation;
 //! * [`counting`] — instrumentation wrapper counting model evaluations
-//!   and wall-clock cost per level (the `t_l` columns).
+//!   and wall-clock cost per level (the `t_l` columns);
+//! * [`store`] — the content-addressed run store: versioned,
+//!   integrity-checked snapshots of a run's full logical state
+//!   (chains, collectors, ledger sessions, RNG streams) enabling
+//!   bit-identical checkpoint/resume, plus a manifest indexing bench
+//!   results as queryable run records.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -31,8 +36,10 @@ pub mod coupled;
 pub mod estimator;
 pub mod factory;
 pub mod ledger;
+pub mod store;
 
 pub use coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain, StepOutcome};
 pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};
 pub use factory::LevelFactory;
 pub use ledger::{LedgerBook, LedgerLease, LedgerStats, PairingMode};
+pub use store::{RunSnapshot, RunStore, StoreError};

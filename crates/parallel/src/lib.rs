@@ -37,7 +37,12 @@ pub mod scheduler;
 pub mod trace;
 
 pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
-pub use roles::{run_runtime, run_runtime_on, RuntimeConfig, RuntimeReport};
+pub use roles::{
+    run_runtime, run_runtime_ckpt, run_runtime_ckpt_on, run_runtime_on, RuntimeConfig,
+    RuntimeReport,
+};
 pub use runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
-pub use scheduler::{run_parallel, ParallelConfig, ParallelReport};
+pub use scheduler::{
+    run_parallel, run_parallel_ckpt, ParallelCheckpoint, ParallelConfig, ParallelReport,
+};
 pub use trace::{SpanKind, TraceEvent, Tracer};

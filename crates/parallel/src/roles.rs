@@ -30,8 +30,8 @@
 
 use crate::runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 use crate::scheduler::{
-    controller_seed, poison_sample, CollectorData, Msg, ParallelConfig, ParallelLevelReport,
-    ParallelReport,
+    controller_seed, poison_sample, CollectorData, Msg, ParallelCheckpoint, ParallelConfig,
+    ParallelLevelReport, ParallelReport,
 };
 use crate::trace::{SpanKind, Tracer};
 use rand::rngs::StdRng;
@@ -41,7 +41,8 @@ use std::time::Instant;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseSample, MlChain, PendingCoarseSource, StepOutcome};
-use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, LedgerStats, PairingMode};
+use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, LedgerState, LedgerStats, PairingMode};
+use uq_mlmcmc::store::{Backend, ChainCkpt, CollectorCkpt, RunSnapshot};
 use uq_mlmcmc::LevelFactory;
 
 const ROOT: usize = 0;
@@ -184,10 +185,21 @@ struct RootRank<'a> {
     evals: Vec<usize>,
     eval_secs: Vec<f64>,
     reassignments: usize,
+    /// Checkpoint policy (None disables the quiesce protocol).
+    ckpt: Option<&'a ParallelCheckpoint<'a>>,
+    /// A checkpoint is in flight (at most one at a time; shutdown waits
+    /// for it so a snapshot cut is never torn).
+    ckpt_active: bool,
+    chain_ckpts: Vec<ChainCkpt>,
+    coll_ckpts: Vec<CollectorCkpt>,
 }
 
 impl<'a> RootRank<'a> {
-    fn new(config: &'a RuntimeConfig, start: Instant) -> Self {
+    fn new(
+        config: &'a RuntimeConfig,
+        start: Instant,
+        ckpt: Option<&'a ParallelCheckpoint<'a>>,
+    ) -> Self {
         let n_levels = config.n_levels();
         Self {
             config,
@@ -202,7 +214,58 @@ impl<'a> RootRank<'a> {
             evals: vec![0; n_levels],
             eval_secs: vec![0.0; n_levels],
             reassignments: 0,
+            ckpt,
+            ckpt_active: false,
+            chain_ckpts: Vec::new(),
+            coll_ckpts: Vec::new(),
         }
+    }
+
+    /// Once every controller acked its pause and every collector shard
+    /// flushed, ask the phonebook for the ledger export (the final piece
+    /// of the cut).
+    fn maybe_request_ledger(&self, ctx: &VCtx<'_, Msg>) {
+        let n_controllers = self.config.n_ranks() - self.config.first_controller_rank();
+        let n_collectors = self.config.n_levels() * self.config.collector_shards;
+        if self.chain_ckpts.len() == n_controllers && self.coll_ckpts.len() == n_collectors {
+            ctx.send(PHONEBOOK, Msg::Checkpoint);
+        }
+    }
+
+    /// Assemble the consistent cut, persist it, resume the controllers.
+    fn complete_checkpoint(&mut self, ctx: &VCtx<'_, Msg>, ledger: LedgerState) {
+        let spec = self
+            .ckpt
+            .expect("ledger checkpoint without a checkpoint spec");
+        self.chain_ckpts.sort_by_key(|c| c.rank);
+        self.coll_ckpts.sort_by_key(|c| (c.level, c.shard));
+        let top = self.config.n_levels() - 1;
+        let samples_done = self
+            .coll_ckpts
+            .iter()
+            .filter(|c| c.level == top)
+            .map(|c| c.count)
+            .sum();
+        let snapshot = RunSnapshot {
+            backend: Backend::Runtime,
+            seed: self.config.base.seed,
+            samples_done,
+            chains: std::mem::take(&mut self.chain_ckpts),
+            collectors: std::mem::take(&mut self.coll_ckpts),
+            ledger: Some(ledger),
+            sequential: None,
+        };
+        let hash = spec
+            .store
+            .put_snapshot(&snapshot, spec.config_hash)
+            .expect("checkpoint: snapshot write failed");
+        if let Some(hook) = spec.on_snapshot {
+            hook(samples_done, &hash);
+        }
+        for rank in self.config.first_controller_rank()..self.config.n_ranks() {
+            ctx.send(rank, Msg::CheckpointDone);
+        }
+        self.ckpt_active = false;
     }
 
     /// Merge a shard's data into the level accumulator (Chan's parallel
@@ -282,7 +345,15 @@ impl VirtualRank<Msg> for RootRank<'_> {
             match self.phase {
                 RootPhase::Levels => {
                     while let Some(env) = ctx.try_recv_match(|e| {
-                        matches!(e.msg, Msg::LevelDone { .. } | Msg::Reassign { .. })
+                        matches!(
+                            e.msg,
+                            Msg::LevelDone { .. }
+                                | Msg::Reassign { .. }
+                                | Msg::CheckpointTick
+                                | Msg::ControllerCkpt(_)
+                                | Msg::CollectorCkpt(_)
+                                | Msg::LedgerCkpt(_)
+                        )
                     }) {
                         match env.msg {
                             Msg::LevelDone { level } => {
@@ -298,10 +369,36 @@ impl VirtualRank<Msg> for RootRank<'_> {
                                 }
                             }
                             Msg::Reassign { .. } => self.reassignments += 1,
+                            Msg::CheckpointTick => {
+                                // start a checkpoint unless one is in
+                                // flight or shutdown is imminent
+                                if self.ckpt.is_some()
+                                    && !self.ckpt_active
+                                    && self.level_done.iter().any(|d| !d)
+                                {
+                                    self.ckpt_active = true;
+                                    self.chain_ckpts.clear();
+                                    self.coll_ckpts.clear();
+                                    for rank in config.first_controller_rank()..config.n_ranks() {
+                                        ctx.send(rank, Msg::Checkpoint);
+                                    }
+                                }
+                            }
+                            Msg::ControllerCkpt(c) => {
+                                self.chain_ckpts.push(*c);
+                                self.maybe_request_ledger(ctx);
+                            }
+                            Msg::CollectorCkpt(c) => {
+                                self.coll_ckpts.push(*c);
+                                self.maybe_request_ledger(ctx);
+                            }
+                            Msg::LedgerCkpt(ledger) => self.complete_checkpoint(ctx, *ledger),
                             _ => unreachable!(),
                         }
                     }
-                    if self.level_done.iter().all(|&d| d) {
+                    // an in-flight checkpoint defers shutdown (its cut
+                    // must be fully persisted, never torn)
+                    if self.level_done.iter().all(|&d| d) && !self.ckpt_active {
                         // shut the phonebook down first, so no request can
                         // be forwarded to a controller that already exited
                         ctx.send(PHONEBOOK, Msg::Shutdown);
@@ -309,7 +406,15 @@ impl VirtualRank<Msg> for RootRank<'_> {
                         continue;
                     }
                     return Poll::Wait(Box::new(|e| {
-                        matches!(e.msg, Msg::LevelDone { .. } | Msg::Reassign { .. })
+                        matches!(
+                            e.msg,
+                            Msg::LevelDone { .. }
+                                | Msg::Reassign { .. }
+                                | Msg::CheckpointTick
+                                | Msg::ControllerCkpt(_)
+                                | Msg::CollectorCkpt(_)
+                                | Msg::LedgerCkpt(_)
+                        )
                     }));
                 }
                 RootPhase::Phonebook => {
@@ -396,17 +501,23 @@ struct PhonebookRank<'a> {
     ema_interval: Vec<f64>,
     last_reassign_at: f64,
     epoch: Instant,
+    /// Serves dispatched but not yet written back: a checkpoint's ledger
+    /// export waits for zero, so the export reflects every outcome a
+    /// captured chain observed (consistent cut — DESIGN.md §7).
+    in_flight: usize,
+    ckpt_pending: bool,
 }
 
 impl<'a> PhonebookRank<'a> {
-    fn new(config: &'a RuntimeConfig, tracer: &'a Tracer) -> Self {
+    fn new(config: &'a RuntimeConfig, tracer: &'a Tracer, resume: Option<&LedgerState>) -> Self {
         let n_levels = config.n_levels();
         Self {
             config,
             tracer,
             ready: vec![VecDeque::new(); n_levels],
             pending: vec![VecDeque::new(); n_levels],
-            ledger: LedgerBook::default(),
+            ledger: resume
+                .map_or_else(LedgerBook::default, |s| LedgerBook::import_state(s.clone())),
             level_of: (config.first_controller_rank()..config.n_ranks())
                 .map(|rank| (rank, config.initial_level(rank)))
                 .collect(),
@@ -416,6 +527,8 @@ impl<'a> PhonebookRank<'a> {
             ema_interval: vec![0.05; n_levels],
             last_reassign_at: f64::NEG_INFINITY,
             epoch: Instant::now(),
+            in_flight: 0,
+            ckpt_pending: false,
         }
     }
 
@@ -486,6 +599,7 @@ impl<'a> PhonebookRank<'a> {
             let lease = self
                 .ledger
                 .lease(self.config.base.seed, level, reply_to, *anchor);
+            self.in_flight += 1;
             ctx.send(
                 server,
                 Msg::Serve {
@@ -497,14 +611,17 @@ impl<'a> PhonebookRank<'a> {
             self.stats.routed += 1;
         } else if self.speculation_allowed() {
             match self.ledger.speculative_lease(level) {
-                Some((requester, lease)) => ctx.send(
-                    server,
-                    Msg::Serve {
-                        reply_to: requester,
-                        lease,
-                        speculative: true,
-                    },
-                ),
+                Some((requester, lease)) => {
+                    self.in_flight += 1;
+                    ctx.send(
+                        server,
+                        Msg::Serve {
+                            reply_to: requester,
+                            lease,
+                            speculative: true,
+                        },
+                    );
+                }
                 None => self.ready[level].push_back(server),
             }
         } else {
@@ -545,14 +662,17 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                         if self.speculation_allowed() {
                             if let Some(server) = self.ready[level].pop_front() {
                                 match self.ledger.speculative_lease(level) {
-                                    Some((requester, lease)) => ctx.send(
-                                        server,
-                                        Msg::Serve {
-                                            reply_to: requester,
-                                            lease,
-                                            speculative: true,
-                                        },
-                                    ),
+                                    Some((requester, lease)) => {
+                                        self.in_flight += 1;
+                                        ctx.send(
+                                            server,
+                                            Msg::Serve {
+                                                reply_to: requester,
+                                                lease,
+                                                speculative: true,
+                                            },
+                                        );
+                                    }
                                     None => self.ready[level].push_front(server),
                                 }
                             }
@@ -561,6 +681,7 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                         let lease =
                             self.ledger
                                 .lease(self.config.base.seed, level, reply_to, *anchor);
+                        self.in_flight += 1;
                         ctx.send(
                             server,
                             Msg::Serve {
@@ -582,6 +703,7 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                     outcome,
                     speculative,
                 } => {
+                    self.in_flight -= 1;
                     if speculative {
                         self.ledger
                             .store_speculation(requester, level, session, serves, *outcome);
@@ -591,10 +713,21 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                     }
                     self.server_available(ctx, env.from, level, now);
                 }
+                Msg::Checkpoint => self.ckpt_pending = true,
                 Msg::LevelDone { level } => self.done[level] = true,
                 Msg::Shutdown => shutdown = true,
                 _ => {}
             }
+        }
+        // quiesce: the root sends `Checkpoint` only after every
+        // controller acked its pause, so no new real requests arrive and
+        // re-dispatches above can only be speculations, which deplete
+        // (each parks its session; nothing re-arms candidates while
+        // requesters are paused) — `in_flight` reaches zero
+        if self.ckpt_pending && self.in_flight == 0 {
+            self.ckpt_pending = false;
+            debug_assert!(self.pending.iter().all(VecDeque::is_empty));
+            ctx.send(ROOT, Msg::LedgerCkpt(Box::new(self.ledger.export_state())));
         }
         if batch > 0 {
             self.stats.wakeups += 1;
@@ -624,8 +757,16 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
 
 struct CollectorRank {
     level: usize,
+    shard: usize,
     quota: usize,
     record_samples: bool,
+    /// Chains assigned to this level (each sends one `CheckpointFlush`).
+    producers: usize,
+    /// Checkpoint pacing interval; this shard ticks the root when it is
+    /// the pacing shard (top level, shard 0) and `ckpt_every > 0`.
+    ckpt_every: usize,
+    ticker: bool,
+    flushes: usize,
     moments: Option<uq_mcmc::stats::VectorMoments>,
     count: usize,
     theta_samples: Vec<Vec<f64>>,
@@ -634,15 +775,32 @@ struct CollectorRank {
 }
 
 impl CollectorRank {
-    fn new(level: usize, quota: usize, record_samples: bool) -> Self {
+    fn new(
+        level: usize,
+        shard: usize,
+        quota: usize,
+        record_samples: bool,
+        producers: usize,
+        tick_every: Option<usize>,
+        resume: Option<&CollectorCkpt>,
+    ) -> Self {
         Self {
             level,
+            shard,
             quota,
             record_samples,
-            moments: None,
-            count: 0,
-            theta_samples: Vec::new(),
-            correction_pairs: Vec::new(),
+            producers,
+            ckpt_every: tick_every.unwrap_or(0),
+            ticker: tick_every.is_some(),
+            flushes: 0,
+            moments: resume
+                .and_then(|r| r.moments.as_deref())
+                .map(uq_mcmc::stats::VectorMoments::from_parts),
+            count: resume.map_or(0, |r| r.count),
+            theta_samples: resume.map(|r| r.theta_samples.clone()).unwrap_or_default(),
+            correction_pairs: resume
+                .map(|r| r.correction_pairs.clone())
+                .unwrap_or_default(),
             done_sent: false,
         }
     }
@@ -652,7 +810,8 @@ impl VirtualRank<Msg> for CollectorRank {
     type Output = RoleOut;
 
     fn poll(&mut self, ctx: &mut VCtx<'_, Msg>) -> Poll<Msg, RoleOut> {
-        if !self.done_sent && self.quota == 0 {
+        // covers quota == 0 and a resumed shard that was already full
+        if !self.done_sent && self.count >= self.quota {
             self.done_sent = true;
             ctx.send(ROOT, Msg::LevelDone { level: self.level });
         }
@@ -678,6 +837,33 @@ impl VirtualRank<Msg> for CollectorRank {
                     if self.count == self.quota && !self.done_sent {
                         self.done_sent = true;
                         ctx.send(ROOT, Msg::LevelDone { level: self.level });
+                    } else if self.ticker && self.count.is_multiple_of(self.ckpt_every) {
+                        ctx.send(ROOT, Msg::CheckpointTick);
+                    }
+                }
+                Msg::CheckpointFlush => {
+                    // one marker per chain on this level, each sent after
+                    // that chain's last pre-pause Correction to this
+                    // shard (FIFO per destination): once all arrive the
+                    // shard's state is consistent with every captured
+                    // chain
+                    self.flushes += 1;
+                    if self.flushes == self.producers {
+                        self.flushes = 0;
+                        ctx.send(
+                            ROOT,
+                            Msg::CollectorCkpt(Box::new(CollectorCkpt {
+                                level: self.level,
+                                shard: self.shard,
+                                count: self.count,
+                                moments: self
+                                    .moments
+                                    .as_ref()
+                                    .map(uq_mcmc::stats::VectorMoments::parts),
+                                theta_samples: self.theta_samples.clone(),
+                                correction_pairs: self.correction_pairs.clone(),
+                            })),
+                        );
                     }
                 }
                 Msg::Shutdown => {
@@ -764,6 +950,9 @@ struct ControllerRank<'a> {
     serve_job: Option<ServeJob>,
     announced: bool,
     awaiting: Await,
+    /// Own stepping suspended for an in-flight checkpoint (serving
+    /// continues, so requesters still reach their own clean boundaries).
+    paused: bool,
     /// Round-robin cursor over this level's collector shards.
     shard_rr: usize,
 }
@@ -774,6 +963,7 @@ impl<'a> ControllerRank<'a> {
         config: &'a RuntimeConfig,
         tracer: &'a Tracer,
         rank: usize,
+        resume: Option<&ChainCkpt>,
     ) -> Self {
         let n_levels = config.n_levels();
         let level = config.initial_level(rank);
@@ -795,9 +985,22 @@ impl<'a> ControllerRank<'a> {
             serve_job: None,
             announced: false,
             awaiting: Await::None,
+            paused: false,
             shard_rr: rank,
         };
         this.reset_level_state();
+        if let Some(r) = resume {
+            // load balancing is off under checkpoint/resume, so the
+            // snapshot's level must match the static assignment
+            assert_eq!(r.rank, rank, "resume: chain ckpt rank mismatch");
+            assert_eq!(r.level, level, "resume: chain ckpt level mismatch");
+            this.chain.import_state(r.chain.clone());
+            this.rng = StdRng::from_state(r.rng);
+            this.done_levels = r.done_levels.clone();
+            this.burnin_left = r.burnin_left;
+            this.producing = r.producing;
+            this.shard_rr = r.shard_rr;
+        }
         this
     }
 
@@ -1080,8 +1283,8 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
         while let Some(env) = ctx.try_recv_match(|e| {
             matches!(
                 e.msg,
-                Msg::Serve { .. } | Msg::StopProducing { .. } | Msg::Shutdown
-            ) || (!busy && matches!(e.msg, Msg::Reassign { .. }))
+                Msg::Serve { .. } | Msg::StopProducing { .. } | Msg::Shutdown | Msg::CheckpointDone
+            ) || (!busy && matches!(e.msg, Msg::Reassign { .. } | Msg::Checkpoint))
         }) {
             match env.msg {
                 Msg::Serve {
@@ -1097,6 +1300,36 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                         self.producing = false;
                     }
                 }
+                Msg::Checkpoint => {
+                    // `!busy` gates this arm: no own step or serve job is
+                    // mid-flight, so the chain sits at a clean boundary
+                    // and the rng between draws. Unlike the thread
+                    // scheduler this point can be mid-burn-in — the real
+                    // `burnin_left` is captured. Flush markers trail our
+                    // last Correction to every shard (FIFO per
+                    // destination).
+                    for shard in 0..self.config.collector_shards {
+                        ctx.send(
+                            self.config.collector_rank(self.level, shard),
+                            Msg::CheckpointFlush,
+                        );
+                    }
+                    ctx.send(
+                        ROOT,
+                        Msg::ControllerCkpt(Box::new(ChainCkpt {
+                            rank: self.rank,
+                            level: self.level,
+                            burnin_left: self.burnin_left,
+                            producing: self.producing,
+                            done_levels: self.done_levels.clone(),
+                            shard_rr: self.shard_rr,
+                            rng: self.rng.state(),
+                            chain: self.chain.export_state(),
+                        })),
+                    );
+                    self.paused = true;
+                }
+                Msg::CheckpointDone => self.paused = false,
                 Msg::Reassign { level } => {
                     // abandon this chain, rebuild on the new level;
                     // poison anyone we promised a real serve (never a
@@ -1186,8 +1419,10 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
             }
         }
 
-        // 4. advance our own chain if there is a reason to
-        if self.want_step() {
+        // 4. advance our own chain if there is a reason to (never while
+        //    paused for a checkpoint — the captured state must stay the
+        //    state the snapshot resumes from)
+        if self.want_step() && !self.paused {
             let span = self.span_kind();
             let eval_start = self.tracer.now();
             match self.chain.poll_step(&mut self.rng) {
@@ -1250,6 +1485,26 @@ pub fn run_runtime(
     run_runtime_on(&Runtime::new(config.n_workers), factory, config, tracer)
 }
 
+/// [`run_runtime`] with durable-run support: periodically persist
+/// consistent-cut snapshots and/or resume from a captured
+/// [`RunSnapshot`] (see [`run_runtime_ckpt_on`] for the contract).
+pub fn run_runtime_ckpt(
+    factory: &dyn LevelFactory,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+    checkpoint: Option<&ParallelCheckpoint<'_>>,
+    resume: Option<&RunSnapshot>,
+) -> RuntimeReport {
+    run_runtime_ckpt_on(
+        &Runtime::new(config.n_workers),
+        factory,
+        config,
+        tracer,
+        checkpoint,
+        resume,
+    )
+}
+
 /// [`run_runtime`] on a caller-provided, reusable worker pool: a scaling
 /// sweep drives all its points through one [`Runtime`], whose
 /// [`lifetime_stats`](Runtime::lifetime_stats) then aggregate the sweep
@@ -1261,6 +1516,25 @@ pub fn run_runtime_on(
     config: &RuntimeConfig,
     tracer: &Tracer,
 ) -> RuntimeReport {
+    run_runtime_ckpt_on(runtime, factory, config, tracer, None, None)
+}
+
+/// [`run_runtime_on`] with durable-run support.
+///
+/// Both `checkpoint` and `resume` require
+/// `config.base.load_balancing == false` (snapshots pin each chain to a
+/// level). A resumed run continues bit-identically in the deterministic
+/// regime (`n_workers == 1`, one chain per level): every chain restores
+/// its exact kernel state and RNG stream position, collector shards
+/// restore their accumulators and the phonebook re-imports the ledger.
+pub fn run_runtime_ckpt_on(
+    runtime: &Runtime,
+    factory: &dyn LevelFactory,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+    checkpoint: Option<&ParallelCheckpoint<'_>>,
+    resume: Option<&RunSnapshot>,
+) -> RuntimeReport {
     assert!(
         config.n_levels() <= factory.n_levels(),
         "run_runtime: more levels configured than the factory provides"
@@ -1270,24 +1544,71 @@ pub fn run_runtime_on(
         "run_runtime: every level needs at least one chain"
     );
     assert!(config.collector_shards >= 1, "run_runtime: need >= 1 shard");
+    if checkpoint.is_some() || resume.is_some() {
+        assert!(
+            !config.base.load_balancing,
+            "run_runtime: checkpoint/resume requires load_balancing = false \
+             (snapshots pin each chain to a level)"
+        );
+    }
+    let first_controller = config.first_controller_rank();
+    if let Some(snap) = resume {
+        assert!(
+            matches!(snap.backend, Backend::Runtime),
+            "run_runtime: snapshot was taken by the {} backend",
+            snap.backend
+        );
+        assert_eq!(
+            snap.seed, config.base.seed,
+            "run_runtime: snapshot seed mismatch"
+        );
+        assert_eq!(
+            snap.chains.len(),
+            config.n_ranks() - first_controller,
+            "run_runtime: snapshot chain count mismatch"
+        );
+        assert_eq!(
+            snap.collectors.len(),
+            config.n_levels() * config.collector_shards,
+            "run_runtime: snapshot collector count mismatch"
+        );
+    }
+    let ckpt_every = checkpoint.map_or(0, |c| c.every);
     let start = Instant::now();
     let run = runtime.run(
         config.n_ranks(),
         |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + Send + '_> {
             if rank == ROOT {
-                Box::new(RootRank::new(config, start))
+                Box::new(RootRank::new(config, start, checkpoint))
             } else if rank == PHONEBOOK {
-                Box::new(PhonebookRank::new(config, tracer))
-            } else if rank < config.first_controller_rank() {
+                Box::new(PhonebookRank::new(
+                    config,
+                    tracer,
+                    resume.and_then(|s| s.ledger.as_ref()),
+                ))
+            } else if rank < first_controller {
                 let level = (rank - 2) / config.collector_shards;
                 let shard = (rank - 2) % config.collector_shards;
                 Box::new(CollectorRank::new(
                     level,
+                    shard,
                     config.shard_quota(level, shard),
                     config.base.record_samples,
+                    config.base.chains_per_level[level],
+                    // pacing shard: snapshot collectors are sorted by
+                    // (level, shard), so index == rank - 2
+                    (ckpt_every > 0 && level + 1 == config.n_levels() && shard == 0)
+                        .then_some(ckpt_every),
+                    resume.map(|s| &s.collectors[rank - 2]),
                 ))
             } else {
-                Box::new(ControllerRank::new(factory, config, tracer, rank))
+                Box::new(ControllerRank::new(
+                    factory,
+                    config,
+                    tracer,
+                    rank,
+                    resume.map(|s| &s.chains[rank - first_controller]),
+                ))
             }
         },
     );
@@ -1474,6 +1795,67 @@ mod tests {
         assert_eq!(r.report.levels[0].theta_samples.len(), 400);
         assert_eq!(r.report.levels[1].correction_pairs.len(), 150);
         assert!(r.report.levels[0].correction_pairs.is_empty());
+    }
+
+    /// Bit-level equality of everything deterministic in a report
+    /// (eval counts excluded: a resumed run rebuilds its chains).
+    fn assert_reports_identical(a: &ParallelReport, b: &ParallelReport) {
+        assert_eq!(a.levels.len(), b.levels.len());
+        for (la, lb) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(la.n_samples, lb.n_samples);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&la.mean_correction), bits(&lb.mean_correction));
+            assert_eq!(bits(&la.var_correction), bits(&lb.var_correction));
+            assert_eq!(la.theta_samples, lb.theta_samples);
+            assert_eq!(la.correction_pairs, lb.correction_pairs);
+        }
+    }
+
+    #[test]
+    fn runtime_resume_from_every_snapshot_is_bit_identical() {
+        use std::sync::Mutex;
+        use uq_mlmcmc::store::RunStore;
+
+        // the runtime's single-worker mode is deterministic even on
+        // three levels (one cooperative scheduler, deterministic poll
+        // order), so the full hierarchy is exercised here — including
+        // checkpoints that land mid-burn-in on slow levels
+        let h = GaussianHierarchy::three_level();
+        let mut config = RuntimeConfig::new(vec![300, 120, 50], vec![1, 1, 1]);
+        config.base.burn_in = vec![30, 20, 10];
+        config.base.load_balancing = false;
+        config.base.record_samples = true;
+        config.n_workers = 1;
+        let baseline = run_runtime(&h, &config, &Tracer::disabled());
+
+        let dir = std::env::temp_dir().join(format!("uq-runtime-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        let hashes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let hook = |_done: usize, hash: &str| hashes.lock().unwrap().push(hash.to_string());
+        let spec = ParallelCheckpoint {
+            store: &store,
+            config_hash: 7,
+            every: 9,
+            on_snapshot: Some(&hook),
+        };
+        let checkpointed = run_runtime_ckpt(&h, &config, &Tracer::disabled(), Some(&spec), None);
+        // checkpointing itself must not perturb the run
+        assert_reports_identical(&baseline.report, &checkpointed.report);
+
+        let hashes = hashes.into_inner().unwrap();
+        assert!(
+            hashes.len() >= 3,
+            "expected several snapshots, got {}",
+            hashes.len()
+        );
+        for hash in &hashes {
+            let (snap, cfg) = store.get_snapshot(hash).unwrap();
+            assert_eq!(cfg, 7);
+            let resumed = run_runtime_ckpt(&h, &config, &Tracer::disabled(), None, Some(&snap));
+            assert_reports_identical(&baseline.report, &resumed.report);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,7 +31,8 @@ use uq_mcmc::stats::VectorMoments;
 use uq_mcmc::SamplingProblem;
 use uq_mlmcmc::counting::{CountingProblem, EvalCounter};
 use uq_mlmcmc::coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain};
-use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, PairingMode, ServeOutcome};
+use uq_mlmcmc::ledger::{self, LedgerBook, LedgerLease, LedgerState, PairingMode, ServeOutcome};
+use uq_mlmcmc::store::{Backend, ChainCkpt, CollectorCkpt, RunSnapshot, RunStore};
 use uq_mlmcmc::LevelFactory;
 
 /// RNG stream seed of the controller at `rank` (shared by the thread
@@ -117,6 +118,50 @@ pub enum Msg {
         evals: Vec<usize>,
         eval_secs: Vec<f64>,
     },
+    /// Top-level collector → root: a checkpoint interval elapsed (sent
+    /// every `every` recorded corrections when checkpointing is on).
+    CheckpointTick,
+    /// Root → controllers, then (once all controllers acked) root →
+    /// phonebook: pause own-chain stepping at the next clean boundary
+    /// and capture state. Serving continues while paused, so requesters
+    /// blocked mid-step still get their proposals and reach their own
+    /// clean boundary.
+    Checkpoint,
+    /// Controller → its level's collector: per-destination-FIFO marker
+    /// sent after the controller's last pre-pause [`Msg::Correction`].
+    /// Once a collector has one flush per chain on its level, its count
+    /// and moments are consistent with every captured chain state.
+    CheckpointFlush,
+    /// Controller → root: captured chain state for the snapshot.
+    ControllerCkpt(Box<ChainCkpt>),
+    /// Collector → root: captured accumulator state for the snapshot.
+    CollectorCkpt(Box<CollectorCkpt>),
+    /// Phonebook → root: the full ledger export, sent only once every
+    /// dispatched serve has written back (`in_flight == 0`), so the
+    /// export reflects all serve outcomes the captured chains observed.
+    LedgerCkpt(Box<LedgerState>),
+    /// Root → controllers (broadcast): snapshot persisted, resume
+    /// stepping.
+    CheckpointDone,
+}
+
+/// Post-snapshot hook for the parallel backends, called with
+/// `(samples_done at the cut, content hash)`.
+pub type ParallelSnapshotHook<'a> = dyn Fn(usize, &str) + Sync + 'a;
+
+/// Checkpointing policy for a parallel run: where snapshots go, how the
+/// format header is keyed, and how often the top-level collector ticks.
+pub struct ParallelCheckpoint<'a> {
+    /// Content-addressed store receiving the snapshots.
+    pub store: &'a RunStore,
+    /// Configuration hash written into every snapshot header (resume
+    /// refuses snapshots taken under a different hash).
+    pub config_hash: u64,
+    /// Checkpoint every `every` top-level corrections (0 disables).
+    pub every: usize,
+    /// Called after each persisted snapshot with `(samples_done, hash)`
+    /// — the crash-injection harness aborts the process from here.
+    pub on_snapshot: Option<&'a ParallelSnapshotHook<'a>>,
 }
 
 /// Data a collector ships back to the root.
@@ -340,15 +385,35 @@ fn collector_rank(level: usize) -> usize {
 // roles
 // ---------------------------------------------------------------------
 
-fn root_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, start: Instant) -> ParallelReport {
+fn root_role(
+    ctx: &mut RankCtx<Msg>,
+    config: &ParallelConfig,
+    start: Instant,
+    ckpt: Option<&ParallelCheckpoint<'_>>,
+) -> ParallelReport {
     let n_levels = config.n_levels();
     let n_controllers = ctx.size() - config.first_controller_rank();
     let mut done = vec![false; n_levels];
-    // phase 1: wait for all collectors
-    while done.iter().any(|d| !d) {
-        let env = ctx.recv_match(|e| matches!(e.msg, Msg::LevelDone { .. }));
-        if let Msg::LevelDone { level } = env.msg {
-            if !done[level] {
+    // checkpoint assembly state (one checkpoint in flight at a time)
+    let mut ckpt_active = false;
+    let mut chain_ckpts: Vec<ChainCkpt> = Vec::new();
+    let mut coll_ckpts: Vec<CollectorCkpt> = Vec::new();
+    // phase 1: wait for all collectors (and drive any in-flight
+    // checkpoint to completion — a snapshot cut must never be torn by
+    // shutdown, so the loop also spins while `ckpt_active`)
+    while done.iter().any(|d| !d) || ckpt_active {
+        let env = ctx.recv_match(|e| {
+            matches!(
+                e.msg,
+                Msg::LevelDone { .. }
+                    | Msg::CheckpointTick
+                    | Msg::ControllerCkpt(_)
+                    | Msg::CollectorCkpt(_)
+                    | Msg::LedgerCkpt(_)
+            )
+        });
+        match env.msg {
+            Msg::LevelDone { level } if !done[level] => {
                 done[level] = true;
                 // stop production on that level, keep chains serving
                 for rank in config.first_controller_rank()..ctx.size() {
@@ -357,6 +422,62 @@ fn root_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, start: Instant) ->
                 // inform the phonebook (load balancer input)
                 ctx.send(PHONEBOOK, Msg::LevelDone { level });
             }
+            // start a checkpoint: pause every controller at its next
+            // clean boundary. Skipped while one is already running and
+            // once every level is done (shutdown is imminent).
+            Msg::CheckpointTick if ckpt.is_some() && !ckpt_active && done.iter().any(|d| !d) => {
+                ckpt_active = true;
+                chain_ckpts.clear();
+                coll_ckpts.clear();
+                for rank in config.first_controller_rank()..ctx.size() {
+                    ctx.send(rank, Msg::Checkpoint);
+                }
+            }
+            Msg::ControllerCkpt(c) => {
+                chain_ckpts.push(*c);
+                if chain_ckpts.len() == n_controllers && coll_ckpts.len() == n_levels {
+                    ctx.send(PHONEBOOK, Msg::Checkpoint);
+                }
+            }
+            Msg::CollectorCkpt(c) => {
+                coll_ckpts.push(*c);
+                if chain_ckpts.len() == n_controllers && coll_ckpts.len() == n_levels {
+                    ctx.send(PHONEBOOK, Msg::Checkpoint);
+                }
+            }
+            Msg::LedgerCkpt(ledger) => {
+                // all controllers paused, collectors flushed, ledger
+                // drained: assemble the consistent cut and persist it
+                let spec = ckpt.expect("ledger checkpoint without a checkpoint spec");
+                chain_ckpts.sort_by_key(|c| c.rank);
+                coll_ckpts.sort_by_key(|c| (c.level, c.shard));
+                let samples_done = coll_ckpts
+                    .iter()
+                    .filter(|c| c.level == n_levels - 1)
+                    .map(|c| c.count)
+                    .sum();
+                let snapshot = RunSnapshot {
+                    backend: Backend::Thread,
+                    seed: config.seed,
+                    samples_done,
+                    chains: std::mem::take(&mut chain_ckpts),
+                    collectors: std::mem::take(&mut coll_ckpts),
+                    ledger: Some(*ledger),
+                    sequential: None,
+                };
+                let hash = spec
+                    .store
+                    .put_snapshot(&snapshot, spec.config_hash)
+                    .expect("checkpoint: snapshot write failed");
+                if let Some(hook) = spec.on_snapshot {
+                    hook(samples_done, &hash);
+                }
+                for rank in config.first_controller_rank()..ctx.size() {
+                    ctx.send(rank, Msg::CheckpointDone);
+                }
+                ckpt_active = false;
+            }
+            _ => {}
         }
     }
     // phase 2: shut the phonebook down first and wait for the ack, so no
@@ -430,12 +551,24 @@ fn root_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, start: Instant) ->
     }
 }
 
-fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Tracer) {
+fn phonebook_role(
+    ctx: &mut RankCtx<Msg>,
+    config: &ParallelConfig,
+    tracer: &Tracer,
+    resume: Option<&LedgerState>,
+) {
     let n_levels = config.n_levels();
     let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_levels];
     // queued requests: (requester, its rewind anchor)
     let mut pending: Vec<VecDeque<(usize, Box<CoarseSample>)>> = vec![VecDeque::new(); n_levels];
-    let mut ledger = LedgerBook::default();
+    let mut ledger =
+        resume.map_or_else(LedgerBook::default, |s| LedgerBook::import_state(s.clone()));
+    // serves dispatched but not yet written back. A checkpoint's ledger
+    // export waits for this to reach zero: by then every outcome a
+    // captured chain has already observed is in the ledger too, so the
+    // cut is consistent (see DESIGN.md §7).
+    let mut in_flight = 0usize;
+    let mut ckpt_pending = false;
     let mut level_of: std::collections::HashMap<usize, usize> = (config.first_controller_rank()
         ..config.first_controller_rank() + config.chains_per_level.iter().sum::<usize>())
         .map(|rank| (rank, config.initial_level(rank)))
@@ -465,6 +598,7 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                 last_ready_at[level] = now;
                 if let Some((reply_to, anchor)) = pending[level].pop_front() {
                     let lease = ledger.lease(config.seed, level, reply_to, *anchor);
+                    in_flight += 1;
                     ctx.send(
                         $server,
                         Msg::Serve {
@@ -475,14 +609,17 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                     );
                 } else if config.speculation && pending.iter().all(VecDeque::is_empty) {
                     match ledger.speculative_lease(level) {
-                        Some((requester, lease)) => ctx.send(
-                            $server,
-                            Msg::Serve {
-                                reply_to: requester,
-                                lease,
-                                speculative: true,
-                            },
-                        ),
+                        Some((requester, lease)) => {
+                            in_flight += 1;
+                            ctx.send(
+                                $server,
+                                Msg::Serve {
+                                    reply_to: requester,
+                                    lease,
+                                    speculative: true,
+                                },
+                            );
+                        }
                         None => ready[level].push_back($server),
                     }
                 } else {
@@ -512,20 +649,24 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                     if config.speculation && pending.iter().all(VecDeque::is_empty) {
                         if let Some(server) = ready[level].pop_front() {
                             match ledger.speculative_lease(level) {
-                                Some((requester, lease)) => ctx.send(
-                                    server,
-                                    Msg::Serve {
-                                        reply_to: requester,
-                                        lease,
-                                        speculative: true,
-                                    },
-                                ),
+                                Some((requester, lease)) => {
+                                    in_flight += 1;
+                                    ctx.send(
+                                        server,
+                                        Msg::Serve {
+                                            reply_to: requester,
+                                            lease,
+                                            speculative: true,
+                                        },
+                                    );
+                                }
                                 None => ready[level].push_front(server),
                             }
                         }
                     }
                 } else if let Some(server) = ready[level].pop_front() {
                     let lease = ledger.lease(config.seed, level, reply_to, *anchor);
+                    in_flight += 1;
                     ctx.send(
                         server,
                         Msg::Serve {
@@ -546,12 +687,33 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
                 outcome,
                 speculative,
             } => {
+                in_flight -= 1;
                 if speculative {
                     ledger.store_speculation(requester, level, session, serves, *outcome);
                 } else {
                     ledger.write_back(requester, level, session, serves, &outcome);
                 }
                 server_available!(env.from, level);
+                // quiesce: controllers are all paused, so re-dispatches
+                // above can only be speculations, which deplete (each
+                // parks its session; nothing re-arms candidates while
+                // requesters are paused) — `in_flight` reaches zero.
+                if ckpt_pending && in_flight == 0 {
+                    ckpt_pending = false;
+                    debug_assert!(pending.iter().all(VecDeque::is_empty));
+                    ctx.send(ROOT, Msg::LedgerCkpt(Box::new(ledger.export_state())));
+                }
+            }
+            Msg::Checkpoint => {
+                // sent by the root only after every controller acked its
+                // pause, so no new real requests can arrive; export as
+                // soon as the dispatched serves have drained
+                if in_flight == 0 {
+                    debug_assert!(pending.iter().all(VecDeque::is_empty));
+                    ctx.send(ROOT, Msg::LedgerCkpt(Box::new(ledger.export_state())));
+                } else {
+                    ckpt_pending = true;
+                }
             }
             Msg::LevelDone { level } => done[level] = true,
             Msg::Shutdown => {
@@ -617,13 +779,28 @@ fn phonebook_role(ctx: &mut RankCtx<Msg>, config: &ParallelConfig, tracer: &Trac
     }
 }
 
-fn collector_role(ctx: &mut RankCtx<Msg>, level: usize, config: &ParallelConfig) {
+fn collector_role(
+    ctx: &mut RankCtx<Msg>,
+    level: usize,
+    config: &ParallelConfig,
+    ckpt_every: usize,
+    resume: Option<&CollectorCkpt>,
+) {
     let target = config.samples_per_level[level];
-    let mut moments: Option<VectorMoments> = None;
-    let mut count = 0usize;
-    let mut theta_samples = Vec::new();
-    let mut correction_pairs = Vec::new();
-    let mut done_sent = target == 0;
+    // the top-level collector paces checkpoints: every `ckpt_every`
+    // recorded corrections it ticks the root
+    let ticker = ckpt_every > 0 && level + 1 == config.n_levels();
+    let mut moments: Option<VectorMoments> = resume
+        .and_then(|r| r.moments.as_deref())
+        .map(VectorMoments::from_parts);
+    let mut count = resume.map_or(0, |r| r.count);
+    let mut theta_samples = resume.map(|r| r.theta_samples.clone()).unwrap_or_default();
+    let mut correction_pairs = resume
+        .map(|r| r.correction_pairs.clone())
+        .unwrap_or_default();
+    // checkpoint-flush markers seen since the last capture
+    let mut flushes = 0usize;
+    let mut done_sent = count >= target;
     if done_sent {
         ctx.send(ROOT, Msg::LevelDone { level });
     }
@@ -650,6 +827,29 @@ fn collector_role(ctx: &mut RankCtx<Msg>, level: usize, config: &ParallelConfig)
                 if count == target && !done_sent {
                     done_sent = true;
                     ctx.send(ROOT, Msg::LevelDone { level });
+                } else if ticker && count.is_multiple_of(ckpt_every) {
+                    ctx.send(ROOT, Msg::CheckpointTick);
+                }
+            }
+            Msg::CheckpointFlush => {
+                // one marker per chain on this level, each sent after
+                // that chain's last pre-pause Correction (FIFO per
+                // destination): once all arrive, this collector's state
+                // is consistent with every captured chain
+                flushes += 1;
+                if flushes == config.chains_per_level[level] {
+                    flushes = 0;
+                    ctx.send(
+                        ROOT,
+                        Msg::CollectorCkpt(Box::new(CollectorCkpt {
+                            level,
+                            shard: 0,
+                            count,
+                            moments: moments.as_ref().map(VectorMoments::parts),
+                            theta_samples: theta_samples.clone(),
+                            correction_pairs: correction_pairs.clone(),
+                        })),
+                    );
                 }
             }
             Msg::Shutdown => {
@@ -729,6 +929,7 @@ fn controller_role(
     config: &ParallelConfig,
     tracer: &Tracer,
     initial_level: usize,
+    resume: Option<&ChainCkpt>,
 ) {
     let rank = ctx.rank();
     let n_levels = config.n_levels();
@@ -741,8 +942,15 @@ fn controller_role(
         stop: Arc::clone(&stop),
         counters: (0..n_levels).map(|_| EvalCounter::new()).collect(),
     };
-    let mut rng = StdRng::seed_from_u64(controller_seed(config.seed, rank));
-    let mut done_levels = vec![false; n_levels];
+    let mut rng = resume.map_or_else(
+        || StdRng::seed_from_u64(controller_seed(config.seed, rank)),
+        |r| StdRng::from_state(r.rng),
+    );
+    let mut done_levels = resume.map_or_else(|| vec![false; n_levels], |r| r.done_levels.clone());
+    // chain state to restore on the first level entry (resume skips
+    // burn-in: thread-backend checkpoints only happen past it)
+    let mut resume_chain = resume.map(|r| r.chain.clone());
+    let mut resume_producing = resume.map(|r| r.producing);
 
     'levels: loop {
         // (re)build on the current level
@@ -751,19 +959,24 @@ fn controller_role(
             LEVEL.with(|l| l.get()).unwrap_or(initial_level)
         };
         let mut chain = harness.build_chain(level);
-        // burn-in (Fig. 9's yellow span)
-        let burn_start = tracer.now();
-        for _ in 0..config.burn_in[level] {
-            chain.step(&mut rng);
-            if stop.load(Ordering::Relaxed) {
-                break;
+        if let Some(state) = resume_chain.take() {
+            chain.import_state(state);
+        } else {
+            // burn-in (Fig. 9's yellow span)
+            let burn_start = tracer.now();
+            for _ in 0..config.burn_in[level] {
+                chain.step(&mut rng);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
             }
+            tracer.record(rank, SpanKind::Burnin { level }, burn_start, tracer.now());
         }
-        tracer.record(rank, SpanKind::Burnin { level }, burn_start, tracer.now());
 
         let rho = factory.subsampling_rate(level).max(1);
         let is_top = level + 1 >= n_levels;
-        let mut producing = !done_levels[level];
+        let mut producing = resume_producing.take().unwrap_or(!done_levels[level]);
+        let mut paused = false;
         let mut pending_serves: VecDeque<(usize, Box<LedgerLease>, bool)> = VecDeque::new();
         let mut announced = false;
 
@@ -809,6 +1022,32 @@ fn controller_role(
                     Msg::Shutdown => {
                         stop.store(true, Ordering::Relaxed);
                     }
+                    Msg::Checkpoint => {
+                        // this drain point is a clean boundary: the last
+                        // own step (including every coarse request it
+                        // made) has completed and the rng sits between
+                        // draws. Flush the collector (FIFO marker after
+                        // our last Correction), ship the captured state,
+                        // pause own stepping — serving continues below.
+                        let c = shared.lock();
+                        c.send(collector_rank(level), Msg::CheckpointFlush);
+                        c.send(
+                            ROOT,
+                            Msg::ControllerCkpt(Box::new(ChainCkpt {
+                                rank,
+                                level,
+                                burnin_left: 0,
+                                producing,
+                                done_levels: done_levels.clone(),
+                                shard_rr: 0,
+                                rng: rng.state(),
+                                chain: chain.export_state(),
+                            })),
+                        );
+                        drop(c);
+                        paused = true;
+                    }
+                    Msg::CheckpointDone => paused = false,
                     _ => {}
                 }
             }
@@ -874,7 +1113,7 @@ fn controller_role(
                 announced = true;
             }
 
-            if producing {
+            if producing && !paused {
                 let eval_start = tracer.now();
                 chain.step(&mut rng);
                 tracer.record(rank, SpanKind::Eval { level }, eval_start, tracer.now());
@@ -957,6 +1196,25 @@ pub fn run_parallel(
     config: &ParallelConfig,
     tracer: &Tracer,
 ) -> ParallelReport {
+    run_parallel_ckpt(factory, config, tracer, None, None)
+}
+
+/// [`run_parallel`] with durable-run support: periodically persist
+/// consistent-cut snapshots to `checkpoint`'s run store and/or resume a
+/// run from a previously captured [`RunSnapshot`].
+///
+/// Both require `config.load_balancing == false` — the snapshot pins
+/// each chain to a level, so the assignment must be static. A resumed
+/// run continues bit-identically: every chain restores its exact kernel
+/// state and RNG stream position, collectors restore their accumulators
+/// and the phonebook re-imports the full rewind ledger.
+pub fn run_parallel_ckpt(
+    factory: &dyn LevelFactory,
+    config: &ParallelConfig,
+    tracer: &Tracer,
+    checkpoint: Option<&ParallelCheckpoint<'_>>,
+    resume: Option<&RunSnapshot>,
+) -> ParallelReport {
     assert!(
         config.n_levels() <= factory.n_levels(),
         "run_parallel: more levels configured than the factory provides"
@@ -965,21 +1223,70 @@ pub fn run_parallel(
         config.chains_per_level.iter().all(|&c| c >= 1),
         "run_parallel: every level needs at least one chain"
     );
+    if checkpoint.is_some() || resume.is_some() {
+        assert!(
+            !config.load_balancing,
+            "run_parallel: checkpoint/resume requires load_balancing = false \
+             (snapshots pin each chain to a level)"
+        );
+    }
+    let n_controllers = config.n_ranks() - config.first_controller_rank();
+    if let Some(snap) = resume {
+        assert!(
+            matches!(snap.backend, Backend::Thread),
+            "run_parallel: snapshot was taken by the {} backend",
+            snap.backend
+        );
+        assert_eq!(
+            snap.seed, config.seed,
+            "run_parallel: snapshot seed mismatch"
+        );
+        assert_eq!(
+            snap.chains.len(),
+            n_controllers,
+            "run_parallel: snapshot chain count mismatch"
+        );
+        assert_eq!(
+            snap.collectors.len(),
+            config.n_levels(),
+            "run_parallel: snapshot collector count mismatch"
+        );
+        for (i, c) in snap.chains.iter().enumerate() {
+            assert_eq!(
+                c.rank,
+                config.first_controller_rank() + i,
+                "run_parallel: snapshot chain ranks inconsistent"
+            );
+        }
+    }
     let start = Instant::now();
     let results = Universe::run(config.n_ranks(), |mut ctx: RankCtx<Msg>| {
         let rank = ctx.rank();
         if rank == ROOT {
-            Some(root_role(&mut ctx, config, start))
+            Some(root_role(&mut ctx, config, start, checkpoint))
         } else if rank == PHONEBOOK {
-            phonebook_role(&mut ctx, config, tracer);
+            phonebook_role(
+                &mut ctx,
+                config,
+                tracer,
+                resume.and_then(|s| s.ledger.as_ref()),
+            );
             None
         } else if rank < config.first_controller_rank() {
-            collector_role(&mut ctx, rank - 2, config);
+            let level = rank - 2;
+            collector_role(
+                &mut ctx,
+                level,
+                config,
+                checkpoint.map_or(0, |c| c.every),
+                resume.map(|s| &s.collectors[level]),
+            );
             None
         } else {
             LEVEL.with(|l| l.set(None));
-            let level = config.initial_level(rank);
-            controller_role(ctx, factory, config, tracer, level);
+            let chain_ckpt = resume.map(|s| &s.chains[rank - config.first_controller_rank()]);
+            let level = chain_ckpt.map_or_else(|| config.initial_level(rank), |c| c.level);
+            controller_role(ctx, factory, config, tracer, level, chain_ckpt);
             None
         }
     });
@@ -1118,6 +1425,74 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, SpanKind::Eval { .. })));
+    }
+
+    /// Bit-level equality of everything deterministic in a report
+    /// (evaluation counts are excluded: a resumed run rebuilds its
+    /// chains, so wall-clock/eval bookkeeping legitimately differs).
+    fn assert_reports_identical(a: &ParallelReport, b: &ParallelReport) {
+        assert_eq!(a.levels.len(), b.levels.len());
+        for (la, lb) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(la.n_samples, lb.n_samples);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&la.mean_correction), bits(&lb.mean_correction));
+            assert_eq!(bits(&la.var_correction), bits(&lb.var_correction));
+            assert_eq!(la.theta_samples, lb.theta_samples);
+            assert_eq!(la.correction_pairs, lb.correction_pairs);
+        }
+    }
+
+    #[test]
+    fn thread_resume_from_every_snapshot_is_bit_identical() {
+        use std::sync::Mutex;
+        use uq_mlmcmc::store::RunStore;
+
+        // two levels: the serving chains are base chains, so serve legs
+        // make no nested coarse requests and every ledger session sees a
+        // deterministic request order — the regime where the thread
+        // backend is bit-reproducible (three-level thread runs
+        // interleave own-step and serve-leg requests on mid-level
+        // sessions nondeterministically; see DESIGN.md §7)
+        let h = GaussianHierarchy {
+            means: vec![0.5, 1.0],
+            sds: vec![0.6, 0.5],
+        };
+        let mut config = ParallelConfig::new(vec![300, 120], vec![1, 1]);
+        config.burn_in = vec![30, 20];
+        config.load_balancing = false;
+        config.record_samples = true;
+        let baseline = run_parallel(&h, &config, &Tracer::disabled());
+        let baseline2 = run_parallel(&h, &config, &Tracer::disabled());
+        assert_reports_identical(&baseline, &baseline2);
+
+        let dir = std::env::temp_dir().join(format!("uq-thread-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        let hashes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let hook = |_done: usize, hash: &str| hashes.lock().unwrap().push(hash.to_string());
+        let spec = ParallelCheckpoint {
+            store: &store,
+            config_hash: 99,
+            every: 7,
+            on_snapshot: Some(&hook),
+        };
+        let checkpointed = run_parallel_ckpt(&h, &config, &Tracer::disabled(), Some(&spec), None);
+        // checkpointing itself must not perturb the run
+        assert_reports_identical(&baseline, &checkpointed);
+
+        let hashes = hashes.into_inner().unwrap();
+        assert!(
+            hashes.len() >= 3,
+            "expected several snapshots, got {}",
+            hashes.len()
+        );
+        for hash in &hashes {
+            let (snap, cfg) = store.get_snapshot(hash).unwrap();
+            assert_eq!(cfg, 99);
+            let resumed = run_parallel_ckpt(&h, &config, &Tracer::disabled(), None, Some(&snap));
+            assert_reports_identical(&baseline, &resumed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

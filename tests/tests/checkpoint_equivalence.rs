@@ -1,0 +1,658 @@
+//! PR 6 headline suite: **bit-identical checkpoint/resume** pinned by
+//! crash injection, on all three backends.
+//!
+//! Each `*_crash_resume_*` test is its own harness: the parent process
+//! computes the uninterrupted reference run in-process, then re-execs
+//! the test binary twice — once in the `crash` role (runs with
+//! checkpointing and `abort()`s from the `on_snapshot` hook at a
+//! randomized snapshot ordinal, exactly like `scaling_live --crash-at`)
+//! and once in the `resume` role (picks up the latest snapshot from the
+//! content-addressed store and runs to completion, writing its digest
+//! and BENCH artifact to disk). The parent then compares the resumed
+//! outputs **byte-for-byte** against the uninterrupted reference:
+//! estimator moments, recorded sample streams, correction pairs, and
+//! the BENCH JSON built by the shared `uq_bench` emitter.
+//!
+//! The bit-parity regime matches `speculation_conformance.rs`: the
+//! two-level tight-ridge hierarchy, one chain per level, load balancing
+//! off, recording on, single worker. Two levels matter for checkpoint
+//! *transparency* — with deeper hierarchies the quiesce pause can
+//! reorder a mid-level rank's interleaving of own-chain steps and
+//! nested serve legs, reassigning session substreams; with two levels
+//! the serving chains are base chains, so a pause cannot move any
+//! serve off its substream (DESIGN.md §7). The runtime test crashes a
+//! run with speculation enabled and asserts the snapshot itself
+//! recorded speculative activity, covering the killed-mid-speculation
+//! case required by the issue.
+//!
+//! The quiesce-barrier tests mirror the conformance suite's invariance
+//! checks: checkpointing on vs off is bit-identical on the
+//! deterministic schedule, and statistically inert on a multi-worker
+//! schedule where in-flight speculative serves are drained at every
+//! barrier.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use uq_bench::BenchJson;
+use uq_linalg::prob::isotropic_gaussian_logpdf;
+use uq_mcmc::proposal::GaussianRandomWalk;
+use uq_mcmc::{Proposal, SamplingProblem};
+use uq_mlmcmc::estimator::{run_sequential_ckpt, CheckpointSpec};
+use uq_mlmcmc::store::fnv1a;
+use uq_mlmcmc::{LevelFactory, MlmcmcConfig, MlmcmcReport, RunStore};
+use uq_parallel::scheduler::ParallelLevelReport;
+use uq_parallel::{
+    run_parallel_ckpt, run_runtime, run_runtime_ckpt, ParallelCheckpoint, ParallelConfig,
+    RuntimeConfig, Tracer,
+};
+
+const COARSE_MEAN: f64 = 0.0;
+const COARSE_SD: f64 = 0.15;
+const FINE_MEAN: f64 = 0.35;
+const FINE_SD: f64 = 0.12;
+const RHO: usize = 2;
+
+struct Ridge;
+
+struct Target {
+    mean: f64,
+    sd: f64,
+}
+
+impl SamplingProblem for Target {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn log_density(&mut self, theta: &[f64]) -> f64 {
+        isotropic_gaussian_logpdf(theta, &[self.mean], self.sd)
+    }
+}
+
+impl LevelFactory for Ridge {
+    fn n_levels(&self) -> usize {
+        2
+    }
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        Box::new(Target {
+            mean: [COARSE_MEAN, FINE_MEAN][level],
+            sd: [COARSE_SD, FINE_SD][level],
+        })
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+        Box::new(GaussianRandomWalk::new(0.2))
+    }
+    fn subsampling_rate(&self, _level: usize) -> usize {
+        RHO
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+}
+
+// ---------------------------------------------------------------------
+// crash-injection harness (child-process re-exec)
+// ---------------------------------------------------------------------
+
+const ROLE_ENV: &str = "UQ_CKPT_ROLE";
+const DIR_ENV: &str = "UQ_CKPT_DIR";
+const CRASH_ENV: &str = "UQ_CKPT_CRASH_AT";
+
+/// The role this process plays for the current test, if re-exec'd.
+fn role() -> Option<String> {
+    env::var(ROLE_ENV).ok()
+}
+
+fn harness_dir() -> PathBuf {
+    PathBuf::from(env::var(DIR_ENV).expect("crash-harness child without UQ_CKPT_DIR"))
+}
+
+fn crash_at() -> usize {
+    env::var(CRASH_ENV)
+        .expect("crash-harness child without UQ_CKPT_CRASH_AT")
+        .parse()
+        .expect("UQ_CKPT_CRASH_AT must be a snapshot ordinal")
+}
+
+/// Randomized kill point: which snapshot ordinal the crash child aborts
+/// at. Derived from the parent pid so repeated suite runs exercise
+/// different cuts while a single run stays reproducible end-to-end
+/// (the same `k` is passed to both children through the environment).
+fn kill_point(base: usize) -> usize {
+    base + (std::process::id() as usize % 3)
+}
+
+/// Re-exec this test binary running exactly `test_name` in `role`.
+fn spawn_role(test_name: &str, role: &str, dir: &Path, crash_at: usize) -> std::process::Output {
+    Command::new(env::current_exe().expect("no current_exe"))
+        .args([test_name, "--exact", "--nocapture"])
+        .env(ROLE_ENV, role)
+        .env(DIR_ENV, dir)
+        .env(CRASH_ENV, crash_at.to_string())
+        .output()
+        .expect("cannot spawn crash-harness child")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = env::temp_dir().join(format!("uq-ckpt-eq-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("cannot create harness dir");
+    dir
+}
+
+/// Drive the full kill→resume cycle for one backend test and compare
+/// the resumed run's digest + BENCH bytes against the reference.
+fn run_crash_cycle(test_name: &str, tag: &str, base_kill: usize, digest: &str, bench: &str) {
+    let dir = fresh_dir(tag);
+    let k = kill_point(base_kill);
+
+    let crash = spawn_role(test_name, "crash", &dir, k);
+    assert!(
+        !crash.status.success(),
+        "crash child must die at snapshot {k}, got: {}",
+        String::from_utf8_lossy(&crash.stdout)
+    );
+    let store = RunStore::open(dir.join("store")).expect("store must survive the crash");
+    assert!(
+        store
+            .latest_snapshot(None)
+            .expect("manifest must stay readable after the crash")
+            .is_some(),
+        "crashed run must have persisted at least one snapshot"
+    );
+
+    let resume = spawn_role(test_name, "resume", &dir, k);
+    assert!(
+        resume.status.success(),
+        "resume child failed:\n{}\n{}",
+        String::from_utf8_lossy(&resume.stdout),
+        String::from_utf8_lossy(&resume.stderr)
+    );
+
+    let resumed_digest = fs::read_to_string(dir.join("digest.txt")).expect("resume digest");
+    let resumed_bench = fs::read_to_string(dir.join("bench.json")).expect("resume bench");
+    assert_eq!(
+        resumed_digest, digest,
+        "kill at snapshot {k} → resume must reproduce the uninterrupted digest bit-for-bit"
+    );
+    assert_eq!(
+        resumed_bench, bench,
+        "kill at snapshot {k} → resume must reproduce the BENCH artifact byte-for-byte"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn write_outputs(dir: &Path, digest: &str, bench: &str) {
+    fs::write(dir.join("digest.txt"), digest).expect("write digest");
+    fs::write(dir.join("bench.json"), bench).expect("write bench");
+}
+
+// ---------------------------------------------------------------------
+// digests and BENCH artifacts (logical state only; eval counters and
+// timing are excluded for the parallel backends, where a resumed run's
+// counters legitimately restart)
+// ---------------------------------------------------------------------
+
+fn push_bits(s: &mut String, tag: &str, v: &[f64]) {
+    s.push_str(tag);
+    for x in v {
+        s.push_str(&format!(" {:016x}", x.to_bits()));
+    }
+    s.push('\n');
+}
+
+fn push_pairs(s: &mut String, pairs: &[(Vec<f64>, Vec<f64>)]) {
+    for (c, f) in pairs {
+        push_bits(s, "pair_coarse", c);
+        push_bits(s, "pair_fine", f);
+    }
+}
+
+fn sequential_digest(report: &MlmcmcReport) -> String {
+    let mut s = String::new();
+    for l in &report.levels {
+        s.push_str(&format!(
+            "level {} n {} evals {} acc {:016x} iact {:016x}\n",
+            l.level,
+            l.n_samples,
+            l.evaluations,
+            l.acceptance_rate.to_bits(),
+            l.iact.to_bits()
+        ));
+        push_bits(&mut s, "mean", &l.mean_correction);
+        push_bits(&mut s, "var", &l.var_correction);
+        for t in &l.theta_samples {
+            push_bits(&mut s, "theta", t);
+        }
+        for q in &l.qoi_samples {
+            push_bits(&mut s, "qoi", q);
+        }
+        push_pairs(&mut s, &l.correction_pairs);
+    }
+    s
+}
+
+fn parallel_digest(levels: &[ParallelLevelReport]) -> String {
+    let mut s = String::new();
+    for l in levels {
+        s.push_str(&format!("level {} n {}\n", l.level, l.n_samples));
+        push_bits(&mut s, "mean", &l.mean_correction);
+        push_bits(&mut s, "var", &l.var_correction);
+        for t in &l.theta_samples {
+            push_bits(&mut s, "theta", t);
+        }
+        push_pairs(&mut s, &l.correction_pairs);
+    }
+    s
+}
+
+/// The BENCH artifact a resumed run must reproduce byte-for-byte: a
+/// pure function of the final estimator state, built with the same
+/// shared emitter as `results/BENCH_PR6.json`.
+fn bench_string(
+    backend: &str,
+    seed: u64,
+    levels: &[(usize, Vec<f64>, Vec<f64>)],
+    estimate: &[f64],
+) -> String {
+    let bits = |v: &[f64]| -> String {
+        let b: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        format!("{b:?}")
+    };
+    let items: Vec<String> = levels
+        .iter()
+        .map(|(n, m, v)| {
+            format!(
+                "{{ \"n\": {n}, \"mean_bits\": {}, \"var_bits\": {} }}",
+                bits(m),
+                bits(v)
+            )
+        })
+        .collect();
+    let mut j = BenchJson::new();
+    j.field("pr", 6)
+        .field_str("suite", "checkpoint_equivalence")
+        .field_str("backend", backend)
+        .field("seed", seed)
+        .array("levels", &items)
+        .field("estimate", format!("{estimate:?}"));
+    j.finish()
+}
+
+fn parallel_bench(backend: &str, seed: u64, levels: &[ParallelLevelReport]) -> String {
+    let rows: Vec<(usize, Vec<f64>, Vec<f64>)> = levels
+        .iter()
+        .map(|l| {
+            (
+                l.n_samples,
+                l.mean_correction.clone(),
+                l.var_correction.clone(),
+            )
+        })
+        .collect();
+    let mut estimate = vec![0.0; levels[0].mean_correction.len()];
+    for l in levels {
+        for (t, m) in estimate.iter_mut().zip(&l.mean_correction) {
+            *t += m;
+        }
+    }
+    bench_string(backend, seed, &rows, &estimate)
+}
+
+// ---------------------------------------------------------------------
+// sequential driver
+// ---------------------------------------------------------------------
+
+const SEQ_SEED: u64 = 9001;
+const SEQ_EVERY: usize = 70;
+
+fn sequential_config() -> MlmcmcConfig {
+    let mut config = MlmcmcConfig::new(vec![400, 200]);
+    config.burn_in = vec![30, 20];
+    config.record_samples = true;
+    config
+}
+
+fn sequential_hash() -> u64 {
+    fnv1a(b"checkpoint_equivalence sequential ridge v1")
+}
+
+#[test]
+fn sequential_crash_resume_is_bit_identical() {
+    match role().as_deref() {
+        Some("crash") => {
+            let store = RunStore::open(harness_dir().join("store")).expect("open store");
+            let k = crash_at();
+            let hook = move |n: usize, _hash: &str| {
+                if n == k {
+                    std::process::abort();
+                }
+            };
+            let ckpt = CheckpointSpec {
+                store: &store,
+                config_hash: sequential_hash(),
+                every: SEQ_EVERY,
+                on_snapshot: Some(&hook),
+            };
+            run_sequential_ckpt(&Ridge, &sequential_config(), SEQ_SEED, Some(&ckpt), None);
+            unreachable!("crash child must abort before the run completes");
+        }
+        Some("resume") => {
+            let dir = harness_dir();
+            let store = RunStore::open(dir.join("store")).expect("open store");
+            let (_, snap) = store
+                .latest_snapshot(Some(sequential_hash()))
+                .expect("manifest readable")
+                .expect("crashed run left a snapshot");
+            let report =
+                run_sequential_ckpt(&Ridge, &sequential_config(), SEQ_SEED, None, Some(&snap));
+            let rows: Vec<(usize, Vec<f64>, Vec<f64>)> = report
+                .levels
+                .iter()
+                .map(|l| {
+                    (
+                        l.n_samples,
+                        l.mean_correction.clone(),
+                        l.var_correction.clone(),
+                    )
+                })
+                .collect();
+            let bench = bench_string("sequential", SEQ_SEED, &rows, &report.expectation());
+            write_outputs(&dir, &sequential_digest(&report), &bench);
+        }
+        _ => {
+            let reference = run_sequential_ckpt(&Ridge, &sequential_config(), SEQ_SEED, None, None);
+            let rows: Vec<(usize, Vec<f64>, Vec<f64>)> = reference
+                .levels
+                .iter()
+                .map(|l| {
+                    (
+                        l.n_samples,
+                        l.mean_correction.clone(),
+                        l.var_correction.clone(),
+                    )
+                })
+                .collect();
+            let bench = bench_string("sequential", SEQ_SEED, &rows, &reference.expectation());
+            run_crash_cycle(
+                "sequential_crash_resume_is_bit_identical",
+                "seq",
+                1,
+                &sequential_digest(&reference),
+                &bench,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// thread scheduler
+// ---------------------------------------------------------------------
+
+const THREAD_SEED: u64 = 33;
+const THREAD_EVERY: usize = 40;
+
+fn thread_config() -> ParallelConfig {
+    let mut config = ParallelConfig::new(vec![300, 500], vec![1, 1]);
+    config.burn_in = vec![30, 20];
+    config.seed = THREAD_SEED;
+    config.load_balancing = false;
+    config.record_samples = true;
+    config
+}
+
+fn thread_hash() -> u64 {
+    fnv1a(b"checkpoint_equivalence thread ridge v1")
+}
+
+#[test]
+fn thread_crash_resume_is_bit_identical() {
+    match role().as_deref() {
+        Some("crash") => {
+            let store = RunStore::open(harness_dir().join("store")).expect("open store");
+            let k = crash_at();
+            let snaps = AtomicUsize::new(0);
+            let hook = move |_done: usize, _hash: &str| {
+                if snaps.fetch_add(1, Ordering::SeqCst) + 1 == k {
+                    std::process::abort();
+                }
+            };
+            let ckpt = ParallelCheckpoint {
+                store: &store,
+                config_hash: thread_hash(),
+                every: THREAD_EVERY,
+                on_snapshot: Some(&hook),
+            };
+            run_parallel_ckpt(
+                &Ridge,
+                &thread_config(),
+                &Tracer::disabled(),
+                Some(&ckpt),
+                None,
+            );
+            unreachable!("crash child must abort before the run completes");
+        }
+        Some("resume") => {
+            let dir = harness_dir();
+            let store = RunStore::open(dir.join("store")).expect("open store");
+            let (_, snap) = store
+                .latest_snapshot(Some(thread_hash()))
+                .expect("manifest readable")
+                .expect("crashed run left a snapshot");
+            let report = run_parallel_ckpt(
+                &Ridge,
+                &thread_config(),
+                &Tracer::disabled(),
+                None,
+                Some(&snap),
+            );
+            write_outputs(
+                &dir,
+                &parallel_digest(&report.levels),
+                &parallel_bench("thread", THREAD_SEED, &report.levels),
+            );
+        }
+        _ => {
+            let reference =
+                uq_parallel::run_parallel(&Ridge, &thread_config(), &Tracer::disabled());
+            run_crash_cycle(
+                "thread_crash_resume_is_bit_identical",
+                "thread",
+                1,
+                &parallel_digest(&reference.levels),
+                &parallel_bench("thread", THREAD_SEED, &reference.levels),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cooperative runtime (killed mid-speculation)
+// ---------------------------------------------------------------------
+
+const RUNTIME_SEED: u64 = 21;
+const RUNTIME_EVERY: usize = 25;
+
+/// Deterministic single-worker runtime config on the ridge with
+/// **speculation enabled**, so the crashed run is killed while the
+/// ledger carries speculative state.
+fn runtime_cfg() -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(vec![300, 500], vec![1, 1]);
+    config.base.burn_in = vec![30, 20];
+    config.base.seed = RUNTIME_SEED;
+    config.base.load_balancing = false;
+    config.base.record_samples = true;
+    config.base.speculation = true;
+    config.n_workers = 1;
+    config.collector_shards = 1;
+    config
+}
+
+fn runtime_hash() -> u64 {
+    fnv1a(b"checkpoint_equivalence runtime ridge v1")
+}
+
+#[test]
+fn runtime_crash_mid_speculation_resume_is_bit_identical() {
+    match role().as_deref() {
+        Some("crash") => {
+            let store = RunStore::open(harness_dir().join("store")).expect("open store");
+            let k = crash_at();
+            let snaps = AtomicUsize::new(0);
+            let hook = move |_done: usize, _hash: &str| {
+                if snaps.fetch_add(1, Ordering::SeqCst) + 1 == k {
+                    std::process::abort();
+                }
+            };
+            let ckpt = ParallelCheckpoint {
+                store: &store,
+                config_hash: runtime_hash(),
+                every: RUNTIME_EVERY,
+                on_snapshot: Some(&hook),
+            };
+            run_runtime_ckpt(
+                &Ridge,
+                &runtime_cfg(),
+                &Tracer::disabled(),
+                Some(&ckpt),
+                None,
+            );
+            unreachable!("crash child must abort before the run completes");
+        }
+        Some("resume") => {
+            let dir = harness_dir();
+            let store = RunStore::open(dir.join("store")).expect("open store");
+            let (_, snap) = store
+                .latest_snapshot(Some(runtime_hash()))
+                .expect("manifest readable")
+                .expect("crashed run left a snapshot");
+            // The kill point is late enough that the quiesced cut must
+            // already have seen speculative serving — this is the
+            // killed-mid-speculation regime the issue pins.
+            let ledger = snap
+                .ledger
+                .as_ref()
+                .expect("runtime snapshot carries the ledger");
+            assert!(
+                ledger.stats.spec_launched > 0,
+                "snapshot must record speculative activity at the cut: {:?}",
+                ledger.stats
+            );
+            let rt = run_runtime_ckpt(
+                &Ridge,
+                &runtime_cfg(),
+                &Tracer::disabled(),
+                None,
+                Some(&snap),
+            );
+            write_outputs(
+                &dir,
+                &parallel_digest(&rt.report.levels),
+                &parallel_bench("runtime", RUNTIME_SEED, &rt.report.levels),
+            );
+        }
+        _ => {
+            let reference = run_runtime(&Ridge, &runtime_cfg(), &Tracer::disabled());
+            assert!(
+                reference.phonebook.ledger.spec_hits > 0,
+                "fixture must exercise speculation: {:?}",
+                reference.phonebook.ledger
+            );
+            run_crash_cycle(
+                "runtime_crash_mid_speculation_resume_is_bit_identical",
+                "runtime",
+                4,
+                &parallel_digest(&reference.report.levels),
+                &parallel_bench("runtime", RUNTIME_SEED, &reference.report.levels),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// quiesce-barrier invariance (satellite): checkpoints must not move a
+// bit on the deterministic schedule, and must stay statistically inert
+// when in-flight speculative serves are drained at every barrier
+// ---------------------------------------------------------------------
+
+#[test]
+fn runtime_checkpoint_on_off_is_bit_identical_on_the_ridge() {
+    let dir = fresh_dir("quiesce-onoff");
+    let store = RunStore::open(dir.join("store")).expect("open store");
+    let snaps = AtomicUsize::new(0);
+    let hook = |_done: usize, _hash: &str| {
+        snaps.fetch_add(1, Ordering::SeqCst);
+    };
+    let ckpt = ParallelCheckpoint {
+        store: &store,
+        config_hash: fnv1a(b"quiesce on/off ridge"),
+        every: 40,
+        on_snapshot: Some(&hook),
+    };
+    let with = run_runtime_ckpt(
+        &Ridge,
+        &runtime_cfg(),
+        &Tracer::disabled(),
+        Some(&ckpt),
+        None,
+    );
+    let without = run_runtime(&Ridge, &runtime_cfg(), &Tracer::disabled());
+    assert!(
+        snaps.load(Ordering::SeqCst) > 0,
+        "the checkpointed run must actually quiesce"
+    );
+    assert!(
+        with.phonebook.ledger.spec_launched > 0,
+        "speculation must be in flight around the barriers: {:?}",
+        with.phonebook.ledger
+    );
+    assert_eq!(
+        parallel_digest(&with.report.levels),
+        parallel_digest(&without.report.levels),
+        "quiesce barriers must not move one bit of the recorded streams"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_barrier_preserves_the_ridge_statistics() {
+    // multi-worker schedule: barriers land while speculative serves are
+    // genuinely in flight; committed-or-discarded, they must leave the
+    // tight-ridge correction mean exactly on FINE − COARSE
+    let dir = fresh_dir("quiesce-stats");
+    let store = RunStore::open(dir.join("store")).expect("open store");
+    let mut config = RuntimeConfig::new(vec![30_000, 15_000], vec![2, 2]);
+    config.base.burn_in = vec![1_000, 500];
+    config.base.seed = 4242;
+    config.base.load_balancing = false;
+    config.base.record_samples = false;
+    config.base.speculation = true;
+    config.n_workers = 4;
+    config.collector_shards = 1;
+    let snaps = AtomicUsize::new(0);
+    let hook = |_done: usize, _hash: &str| {
+        snaps.fetch_add(1, Ordering::SeqCst);
+    };
+    let ckpt = ParallelCheckpoint {
+        store: &store,
+        config_hash: fnv1a(b"quiesce statistics ridge"),
+        every: 1_000,
+        on_snapshot: Some(&hook),
+    };
+    let rt = run_runtime_ckpt(&Ridge, &config, &Tracer::disabled(), Some(&ckpt), None);
+    assert!(snaps.load(Ordering::SeqCst) > 0, "barriers must fire");
+    let ledger = rt.phonebook.ledger;
+    assert!(
+        ledger.spec_hits > 0 && ledger.spec_misses > 0,
+        "both speculation outcomes must be exercised across barriers: {ledger:?}"
+    );
+    let corr = rt.report.levels[1].mean_correction[0];
+    assert!(
+        (corr - (FINE_MEAN - COARSE_MEAN)).abs() < 0.03,
+        "checkpoint barriers must be statistically inert on the ridge: corr = {corr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
