@@ -1,13 +1,20 @@
 //! **Fig. 9**: dynamic load balancing trace. Runs a small parallel
 //! MLMCMC with strongly heterogeneous (and artificially slowed)
-//! per-level model costs on the live thread-backed scheduler, recording
-//! per-rank activity spans: model evaluations (the figure's green
-//! boxes), burn-in phases (yellow) and reassignment markers.
+//! per-level model costs on **both** parallel backends — the
+//! thread-backed scheduler and the cooperative virtual-rank runtime —
+//! recording per-rank activity spans: model evaluations (the figure's
+//! green boxes), burn-in phases (yellow), ledger serves and
+//! reassignment markers. Both runs share one [`Epoch`], so the
+//! exported Chrome trace (`fig9_trace.json`, Perfetto /
+//! `chrome://tracing` loadable) shows them on a single timeline next
+//! to the per-backend CSVs.
 
 use std::time::Duration;
 use uq_bench::{write_output, ExpArgs};
 use uq_linalg::prob::isotropic_gaussian_logpdf;
-use uq_parallel::{run_parallel, ParallelConfig, Tracer};
+use uq_parallel::{
+    chrome_trace, run_parallel, run_runtime, Epoch, ParallelConfig, RuntimeConfig, SpanKind, Tracer,
+};
 
 /// Gaussian target with an artificial per-evaluation delay mimicking a
 /// PDE solve whose run time varies strongly between samples (the paper's
@@ -54,6 +61,23 @@ impl uq_mlmcmc::LevelFactory for SlowHierarchy {
     }
 }
 
+fn span_counts(tracer: &Tracer) -> (usize, usize, usize) {
+    let events = tracer.events();
+    let evals = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Eval { .. }))
+        .count();
+    let burnins = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Burnin { .. }))
+        .count();
+    let serves = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Serve { .. } | SpanKind::Speculate { .. }))
+        .count();
+    (evals, burnins, serves)
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let samples = if args.paper {
@@ -61,11 +85,15 @@ fn main() {
     } else {
         vec![800usize, 120]
     };
+    let chains = vec![3usize, 2];
+    let burn_in = vec![60usize, 25];
+    let epoch = Epoch::now();
+
     println!("Fig. 9 — dynamic load balancing trace (live scheduler)");
-    let mut config = ParallelConfig::new(samples, vec![3, 2]);
-    config.burn_in = vec![60, 25];
+    let mut config = ParallelConfig::new(samples.clone(), chains.clone());
+    config.burn_in = burn_in.clone();
     config.seed = args.seed;
-    let tracer = Tracer::new();
+    let tracer = Tracer::with_epoch(epoch);
     let report = run_parallel(&SlowHierarchy, &config, &tracer);
     println!(
         "run finished in {:.2}s on {} ranks, {} reassignments, estimate {:.3}",
@@ -74,15 +102,37 @@ fn main() {
         report.reassignments,
         report.expectation()[0]
     );
-    let events = tracer.events();
-    let evals = events
-        .iter()
-        .filter(|e| matches!(e.kind, uq_parallel::SpanKind::Eval { .. }))
-        .count();
-    let burnins = events
-        .iter()
-        .filter(|e| matches!(e.kind, uq_parallel::SpanKind::Burnin { .. }))
-        .count();
-    println!("trace: {evals} evaluation spans, {burnins} burn-in spans");
+    let (evals, burnins, serves) = span_counts(&tracer);
+    println!("trace: {evals} evaluation spans, {burnins} burn-in spans, {serves} serve spans");
     write_output(&args.out_dir, "fig9_trace.csv", &tracer.to_csv());
+
+    // the same study on the cooperative runtime: virtual ranks
+    // multiplexed over a small worker pool, serves through the rewind
+    // ledger — the second Gantt panel of the exported Chrome trace
+    println!("\nFig. 9 — the same trace on the cooperative runtime");
+    let mut rt_cfg = RuntimeConfig::new(samples, chains);
+    rt_cfg.base.burn_in = burn_in;
+    rt_cfg.base.seed = args.seed;
+    rt_cfg.n_workers = 4;
+    let rt_tracer = Tracer::with_epoch(epoch);
+    let rt = run_runtime(&SlowHierarchy, &rt_cfg, &rt_tracer);
+    println!(
+        "run finished in {:.2}s on {} virtual ranks ({} workers), {} reassignments, \
+         {} steals, estimate {:.3}",
+        rt.report.elapsed,
+        rt.report.n_ranks,
+        rt_cfg.n_workers,
+        rt.report.reassignments,
+        rt.runtime.steals,
+        rt.report.expectation()[0]
+    );
+    let (evals, burnins, serves) = span_counts(&rt_tracer);
+    println!("trace: {evals} evaluation spans, {burnins} burn-in spans, {serves} serve spans");
+    write_output(&args.out_dir, "fig9_trace_runtime.csv", &rt_tracer.to_csv());
+
+    let trace = chrome_trace(&[
+        ("thread-scheduler", &tracer),
+        ("cooperative-runtime", &rt_tracer),
+    ]);
+    write_output(&args.out_dir, "fig9_trace.json", &trace);
 }

@@ -53,6 +53,20 @@
 //! standalone via `--checkpoint-every N` / `--crash-at k` / `--resume`,
 //! the crash-injection path exercised by
 //! `tests/checkpoint_equivalence.rs`. Writes `results/BENCH_PR6.json`.
+//!
+//! Since PR 8 the run is **observed**: the validation thread-scheduler
+//! run and the whole runtime sweep record spans/counters/histograms
+//! through `uq_parallel::obs` (sharing one [`Epoch`], so the two
+//! backends land on one timeline). The first sweep point closes the
+//! loop against the DES — measured per-level busy shares and per-rank
+//! utilization against `DesResult::busy_per_level` / busy totals, and
+//! controller-side serve counts against phonebook-side write-backs.
+//! **`--trace-out F`** writes a Chrome trace-event JSON (Perfetto /
+//! `chrome://tracing` loadable) covering both parallel backends,
+//! **`--metrics-out F`** a `MetricsSnapshot` JSON (both registered in
+//! the run-store manifest), and **`--progress`** prints a live progress
+//! line during the sweep. Tracing is observation-only: bit-parity with
+//! tracing off is pinned by `tests/obs_conformance.rs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -65,8 +79,8 @@ use uq_mlmcmc::LevelFactory;
 use uq_parallel::des::{simulate, DesConfig};
 use uq_parallel::roles::RuntimeReport;
 use uq_parallel::{
-    run_parallel, run_runtime, run_runtime_ckpt, run_runtime_on, ParallelCheckpoint,
-    ParallelConfig, Runtime, RuntimeConfig, Tracer,
+    chrome_trace, run_parallel, run_runtime, run_runtime_ckpt, run_runtime_on, Counter, Epoch,
+    MetricsSnapshot, ParallelCheckpoint, ParallelConfig, Runtime, RuntimeConfig, Tracer,
 };
 
 /// Gaussian level target with a deterministic busy-spin so one model
@@ -230,6 +244,9 @@ struct SweepPoint {
     /// (hit rate and waste forced to zero): the baseline the PR-4
     /// overhead band was measured against.
     pred_nospec_elapsed: f64,
+    /// DES virtual-time busy seconds split per level — the prediction
+    /// the live tracer's per-level activity is checked against (PR 8).
+    des_busy_per_level: Vec<f64>,
 }
 
 /// Single-threaded calibration of one level's evaluation cost (seconds).
@@ -262,6 +279,7 @@ fn run_sweep_point(
     samples: &[usize],
     burn_in: &[usize],
     seed: u64,
+    tracer: &Tracer,
 ) -> (RuntimeReport, SweepPoint) {
     let overhead = 2 + samples.len() * shards;
     let chains = allocate_chains(ranks - overhead, samples, rho);
@@ -274,7 +292,7 @@ fn run_sweep_point(
     // the whole sweep reuses one worker pool; per-point runtime stats
     // must describe that point alone (pinned by the uq-parallel
     // reused-pool regression test)
-    let r = run_runtime_on(pool, h, &config, &Tracer::disabled());
+    let r = run_runtime_on(pool, h, &config, tracer);
     // DES replay of the identical schedule, driven by the calibrated
     // per-level evaluation times and the live run's measured ledger
     // divergence (each diverged serve costs the server a second ρ-leg)
@@ -335,6 +353,7 @@ fn run_sweep_point(
         spec_hits: ledger.spec_hits,
         spec_misses: ledger.spec_misses,
         hit_rate: ledger.hit_rate(),
+        des_busy_per_level: des.busy_per_level,
     };
     (r, point)
 }
@@ -395,6 +414,7 @@ fn swe_study(args: &ExpArgs) {
             &samples,
             &burn_in,
             args.seed,
+            &Tracer::disabled(),
         );
         eprintln!(
             "  ranks {ranks:>4}: {:.2}s live ({:.2}s wall), {} ledger serves \
@@ -680,10 +700,16 @@ fn main() {
 
     println!("scaling_live — cooperative-runtime scaling study (PR 3)\n");
     println!("validation: runtime vs thread scheduler, identical seeds");
+    // one epoch shared by every tracer in this process: the thread
+    // validation run and the runtime sweep land on a single timeline in
+    // the exported Chrome trace (observation never perturbs the runs —
+    // bit-parity is pinned by tests/obs_conformance.rs)
+    let epoch = Epoch::now();
+    let t_thread = Tracer::with_epoch(epoch);
     let mut sched_cfg = ParallelConfig::new(val_samples.clone(), val_chains.clone());
     sched_cfg.burn_in = val_burn.clone();
     sched_cfg.seed = args.seed;
-    let sched = run_parallel(&h_plain, &sched_cfg, &Tracer::disabled());
+    let sched = run_parallel(&h_plain, &sched_cfg, &t_thread);
 
     let mut rt_cfg = RuntimeConfig::new(val_samples.clone(), val_chains.clone());
     rt_cfg.base.burn_in = val_burn.clone();
@@ -819,10 +845,28 @@ fn main() {
             .collect::<Vec<_>>()
     );
     let pool = Runtime::new(workers);
+    // the whole sweep records into one tracer (same epoch as the thread
+    // run): span volume is a few thousand events per point, far below
+    // the spin-bound evaluation cost, so the overhead-band assertions
+    // below measure the runtime, not the observer
+    let t_rt = Tracer::with_epoch(epoch);
+    let progress_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress_handle = args.progress.then(|| {
+        let t = t_rt.clone();
+        let stop = std::sync::Arc::clone(&progress_stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                eprintln!("  progress: {}", t.progress_line());
+                std::thread::sleep(std::time::Duration::from_millis(1000));
+            }
+        })
+    });
     let mut points: Vec<SweepPoint> = Vec::new();
+    let mut obs_snapshot: Option<MetricsSnapshot> = None;
+    let mut obs_trace: Option<String> = None;
     for &ranks in &ranks_list {
         let t0 = Instant::now();
-        let (_r, point) = run_sweep_point(
+        let (r, point) = run_sweep_point(
             &pool,
             &h,
             &RHO,
@@ -833,6 +877,7 @@ fn main() {
             &samples,
             &burn_in,
             args.seed,
+            &t_rt,
         );
         eprintln!(
             "  ranks {ranks:>5}: {:.2}s live ({:.2}s wall), {:.0}% serves speculated",
@@ -840,7 +885,28 @@ fn main() {
             t0.elapsed().as_secs_f64(),
             point.hit_rate * 100.0
         );
+        if obs_snapshot.is_none() {
+            // captured before the next point starts, so counters and
+            // per-level activity describe this point alone
+            let mut snap = MetricsSnapshot::capture(&format!("scaling_live ranks={ranks}"), &t_rt);
+            snap.merge_ledger(&r.phonebook.ledger);
+            snap.merge_runtime(&r.runtime);
+            obs_snapshot = Some(snap);
+            if args.trace_out.is_some() {
+                // export the timeline up to here (thread validation run
+                // + one full sweep point covers both parallel backends);
+                // the remaining points would only multiply the file size
+                obs_trace = Some(chrome_trace(&[
+                    ("thread-scheduler", &t_thread),
+                    ("cooperative-runtime", &t_rt),
+                ]));
+            }
+        }
         points.push(point);
+    }
+    progress_stop.store(true, Ordering::Relaxed);
+    if let Some(reporter) = progress_handle {
+        reporter.join().expect("progress reporter thread");
     }
     let sweep_lifetime = pool.lifetime_stats();
 
@@ -1012,6 +1078,114 @@ fn main() {
             .map(|p| ((p.elapsed / p.pred_nospec_elapsed) * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
+
+    // ---------------- 2b. observability cross-check (PR 8) ----------------
+    // close the loop between the live tracer and the DES on the first
+    // sweep point: the measured activity must match what the simulator
+    // predicts for the same schedule
+    let snap = obs_snapshot.expect("first sweep point captured a snapshot");
+    let obs_point = &points[0];
+
+    // (a) cross-source counters: serves are counted controller-side at
+    // execution, write-backs phonebook-side at ledger commit. A few
+    // ServeDone messages can be in flight when the phonebook shuts
+    // down, so allow shutdown skew — but nothing that would indicate a
+    // systematic miscount (exact equality on a quiescent run is pinned
+    // by tests/obs_conformance.rs)
+    let serves = snap.counter(Counter::Serves);
+    let write_backs = snap.counter(Counter::WriteBacks);
+    assert!(
+        write_backs <= serves && serves - write_backs <= serves / 100 + 8,
+        "controller-side serves ({serves}) must match phonebook-side write-backs \
+         ({write_backs}) up to shutdown in-flight skew"
+    );
+    assert_eq!(
+        snap.counter(Counter::SpecHits),
+        obs_point.spec_hits as u64,
+        "merged snapshot must carry the ledger's speculation stats"
+    );
+
+    // (b) per-level activity split: the live tracer's busy share per
+    // level (eval + burn-in + serve spans) against the DES's
+    // busy_per_level. Shares, not absolute seconds: oversubscription
+    // (workers > cores) inflates every measured span by preemption, but
+    // uniformly, so the *distribution* across levels must still agree.
+    let live_level_busy: f64 = snap.per_level.iter().map(|l| l.busy()).sum();
+    let des_level_busy: f64 = obs_point.des_busy_per_level.iter().sum();
+    let mut share_rows = Vec::new();
+    for l in &snap.per_level {
+        let live_share = l.busy() / live_level_busy;
+        let des_share = obs_point.des_busy_per_level[l.level] / des_level_busy;
+        // band-check levels carrying real work; on the top level's sliver
+        // (~1% of busy time) the DES's every-step-pays-one-eval model is
+        // coarser than the live chain (which skips re-evaluating unchanged
+        // coarse proposals), so only require the activity to exist
+        if des_share >= 0.05 {
+            let ratio = live_share / des_share;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "per-level busy share diverged from DES at level {}: live {live_share:.3} vs \
+                 DES {des_share:.3}",
+                l.level
+            );
+        } else {
+            assert!(
+                l.busy() > 0.0,
+                "level {} saw no recorded activity at all",
+                l.level
+            );
+        }
+        share_rows.push(format!(
+            "L{} {:.0}%/{:.0}%",
+            l.level,
+            live_share * 100.0,
+            des_share * 100.0
+        ));
+    }
+
+    // (c) per-rank utilization: total measured busy seconds across
+    // controller ranks against the DES's virtual-time busy total. Live
+    // spans absorb preemption when the pool oversubscribes the cores,
+    // so the acceptance band scales with the oversubscription factor.
+    let busy_ranks: Vec<_> = snap.per_rank.iter().filter(|r| r.busy() > 0.0).collect();
+    let live_busy_total: f64 = busy_ranks.iter().map(|r| r.busy()).sum();
+    let mean_util = live_busy_total / (busy_ranks.len() as f64 * obs_point.elapsed);
+    let oversub = (workers as f64 / effective_cores as f64).max(1.0);
+    let busy_ratio = live_busy_total / des_level_busy;
+    assert!(
+        busy_ratio > 0.3 && busy_ratio < 3.0 * oversub,
+        "measured busy time diverged from DES: live {live_busy_total:.2}s vs DES \
+         {des_level_busy:.2}s (ratio {busy_ratio:.2}, oversubscription {oversub:.1})"
+    );
+    println!(
+        "obs cross-check (ranks {}): serves {serves} vs write_backs {write_backs}, \
+         busy live/DES {:.2} (mean rank utilization {:.1}%), level shares live/DES {} ✓",
+        obs_point.ranks,
+        busy_ratio,
+        mean_util * 100.0,
+        share_rows.join(", ")
+    );
+    println!(
+        "obs spec loop: tracer hit rate {:.2} fed into the DES, wall-clock prediction \
+         ratio {:.2} (cross-check 2) ✓\n",
+        obs_point.hit_rate,
+        obs_point.elapsed / obs_point.pred_elapsed
+    );
+
+    // ---------------- 2c. observability exports (PR 8) ----------------
+    if let Some(name) = &args.trace_out {
+        let trace = obs_trace.expect("trace captured at the first sweep point");
+        write_bench(&args.out_dir, name, &trace);
+    }
+    if let Some(name) = &args.metrics_out {
+        let thread_snap = MetricsSnapshot::capture("validation thread-scheduler", &t_thread);
+        let mut doc = String::from("{\n\"schema\": \"uq-obs-metrics-v1\",\n\"thread\": ");
+        doc.push_str(thread_snap.to_json().trim_end());
+        doc.push_str(",\n\"runtime\": ");
+        doc.push_str(snap.to_json().trim_end());
+        doc.push_str("\n}\n");
+        write_bench(&args.out_dir, name, &doc);
+    }
 
     // ---------------- 3. BENCH_PR3.json ----------------
     let sweep_items: Vec<String> = points

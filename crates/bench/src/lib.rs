@@ -36,12 +36,22 @@ pub struct ExpArgs {
     /// Crash-injection: abort the process at the n-th snapshot (the
     /// equivalence harness re-launches with `--resume`).
     pub crash_at: Option<usize>,
+    /// Write a Chrome trace-event JSON (Perfetto-loadable) of the
+    /// traced study phases to this file under `out_dir`.
+    pub trace_out: Option<String>,
+    /// Write a `MetricsSnapshot` JSON (counters, histograms, per-rank /
+    /// per-level activity) to this file under `out_dir`.
+    pub metrics_out: Option<String>,
+    /// Print a periodic live progress line (stderr) while the traced
+    /// phases run.
+    pub progress: bool,
 }
 
 impl ExpArgs {
     /// Parse from `std::env::args`. Recognizes `--paper`,
     /// `--out <dir>`, `--seed <n>`, `--model <name>`,
-    /// `--checkpoint-every <n>`, `--resume`, `--crash-at <n>`.
+    /// `--checkpoint-every <n>`, `--resume`, `--crash-at <n>`,
+    /// `--trace-out <file>`, `--metrics-out <file>`, `--progress`.
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             paper: false,
@@ -51,6 +61,9 @@ impl ExpArgs {
             checkpoint_every: 0,
             resume: false,
             crash_at: None,
+            trace_out: None,
+            metrics_out: None,
+            progress: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
@@ -85,10 +98,18 @@ impl ExpArgs {
                             .expect("--crash-at must be an integer"),
                     );
                 }
+                "--trace-out" => {
+                    args.trace_out = Some(iter.next().expect("--trace-out needs a value"));
+                }
+                "--metrics-out" => {
+                    args.metrics_out = Some(iter.next().expect("--metrics-out needs a value"));
+                }
+                "--progress" => args.progress = true,
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --paper/--out/--seed/--model/\
-                         --checkpoint-every/--resume/--crash-at)"
+                         --checkpoint-every/--resume/--crash-at/--trace-out/--metrics-out/\
+                         --progress)"
                     )
                 }
             }

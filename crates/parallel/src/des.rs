@@ -96,6 +96,11 @@ pub struct DesResult {
     pub reassignments: usize,
     /// Fraction of chain-time spent evaluating models (utilization).
     pub busy_fraction: f64,
+    /// Busy (evaluating/serving) chain-seconds attributed to each level
+    /// — the virtual-time counterpart of the live tracer's per-level
+    /// activity split, so measured and predicted utilization can be
+    /// compared level by level (`scaling_live` closes that loop).
+    pub busy_per_level: Vec<f64>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -181,6 +186,7 @@ pub fn simulate(config: &DesConfig) -> DesResult {
     let mut pb_free_at = 0.0f64;
     let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
     let mut busy_time = 0.0f64;
+    let mut busy_per_level = vec![0.0f64; n_levels];
     let mut reassignments = 0usize;
     let mut level_count = config.chains_per_level.clone();
     // steal at most once per this many events (the scheduler's "only at
@@ -202,6 +208,7 @@ pub fn simulate(config: &DesConfig) -> DesResult {
         ($heap:expr, $rng:expr, $chains:expr, $id:expr, $t:expr) => {{
             let dur = eval_duration($rng, $chains[$id].level);
             busy_time += dur;
+            busy_per_level[$chains[$id].level] += dur;
             $chains[$id].state = ChainState::Busy;
             $heap.push(Reverse((T($t + dur), $id)));
         }};
@@ -224,6 +231,7 @@ pub fn simulate(config: &DesConfig) -> DesResult {
                     $chains[server].state = ChainState::Busy;
                     let sdur = eval_duration($rng, $chains[server].level);
                     busy_time += sdur;
+                    busy_per_level[$chains[server].level] += sdur;
                     $heap.push(Reverse((T(pb_free_at + sdur), server)));
                 }
                 start_step!($heap, $rng, $chains, $id, pb_free_at);
@@ -395,6 +403,7 @@ pub fn simulate(config: &DesConfig) -> DesResult {
         } else {
             0.0
         },
+        busy_per_level,
     }
 }
 
@@ -442,6 +451,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
     let mut level_count = config.chains_per_level.clone();
     let mut pb_free_at = 0.0f64;
     let mut busy_time = 0.0f64;
+    let mut busy_per_level = vec![0.0f64; n_levels];
     let mut reassignments = 0usize;
     // reassignment rate limit, mirroring the live phonebook's cooldown
     // (without it, every idle coarse chain would migrate at once and each
@@ -497,8 +507,13 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
             let dur =
                 serve_mean_dur[slevel] * eval_duration(&mut rng, slevel) / config.eval_time[slevel];
             busy_time += dur;
+            // attribute the composite duration to the levels that run
+            // its legs (nested serves execute on lower-level chains),
+            // matching how the live tracer charges serve spans
+            let scale = dur / serve_mean_dur[slevel];
             for (k, e) in serve_evals_at[slevel].iter().enumerate() {
                 evals_serve[k] += e;
+                busy_per_level[k] += e * config.eval_time[k] * scale;
             }
             chains[$server].serve_for = Some($requester);
             heap.push(Reverse((T(svc_start + dur), $server)));
@@ -515,6 +530,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
                 busy_time += f * serve_mean_dur[$lvl];
                 for (k, e) in serve_evals_at[$lvl].iter().enumerate() {
                     evals_serve[k] += f * e;
+                    busy_per_level[k] += f * e * config.eval_time[k];
                 }
             }
         }};
@@ -532,6 +548,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
             if level == 0 {
                 let dur = eval_duration(&mut rng, 0);
                 busy_time += dur;
+                busy_per_level[0] += dur;
                 heap.push(Reverse((T($now + dur), $id)));
             } else {
                 charge_spec_work!(level - 1, config.spec_waste);
@@ -542,6 +559,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
                     charge_spec_work!(level - 1, 1.0);
                     let dur = eval_duration(&mut rng, level);
                     busy_time += dur;
+                    busy_per_level[level] += dur;
                     heap.push(Reverse((T(pb_free_at + dur), $id)));
                 } else if let Some(server) = ready[level - 1].pop_front() {
                     start_serve!(server, $id, $now);
@@ -616,6 +634,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
             let rlevel = chains[requester].level;
             let dur = eval_duration(&mut rng, rlevel);
             busy_time += dur;
+            busy_per_level[rlevel] += dur;
             heap.push(Reverse((T(now + dur), requester)));
             next_move!(id, now);
             continue;
@@ -661,6 +680,7 @@ fn simulate_ledger(config: &DesConfig) -> DesResult {
         } else {
             0.0
         },
+        busy_per_level,
     }
 }
 

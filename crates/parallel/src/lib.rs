@@ -21,8 +21,11 @@
 //! * [`roles`] — the same role protocols ported onto the runtime, with
 //!   batched phonebook routing and per-level sharded collectors
 //!   (`run_runtime` is the drop-in peer of `run_parallel`).
-//! * [`trace`] — per-rank activity spans (burn-in / model evaluations /
-//!   serving), the data behind the paper's Fig. 9 Gantt chart.
+//! * [`obs`] — the observability layer: per-rank activity spans (the data
+//!   behind the paper's Fig. 9 Gantt chart), counters and histograms,
+//!   shared by all three backends and exportable as Chrome trace JSON
+//!   and metrics snapshots. Zero-cost when disabled, and recording
+//!   never perturbs the computation (bit-parity pinned by tests).
 //! * [`des`] — a discrete-event simulator replaying the same scheduling
 //!   policy in virtual time, used to reproduce the strong/weak scaling
 //!   studies (Figs. 11–12) beyond any hardware.
@@ -31,18 +34,21 @@
 
 pub mod comm;
 pub mod des;
+pub mod obs;
 pub mod roles;
 pub mod runtime;
 pub mod scheduler;
-pub mod trace;
 
 pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
+pub use obs::{
+    chrome_trace, Counter, Epoch, Hist, HistSnapshot, MetricsSnapshot, ObservedFactory, SpanKind,
+    TraceEvent, Tracer,
+};
 pub use roles::{
     run_runtime, run_runtime_ckpt, run_runtime_ckpt_on, run_runtime_on, RuntimeConfig,
     RuntimeReport,
 };
-pub use runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
+pub use runtime::{Poll, Runtime, RuntimeStats, StealProbe, VCtx, VirtualRank};
 pub use scheduler::{
     run_parallel, run_parallel_ckpt, ParallelCheckpoint, ParallelConfig, ParallelReport,
 };
-pub use trace::{SpanKind, TraceEvent, Tracer};

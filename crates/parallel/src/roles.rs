@@ -28,12 +28,12 @@
 //! streams, which is what the `scaling_live` experiment's estimate
 //! cross-check relies on.
 
+use crate::obs::{Counter, Hist, SpanKind, Tracer};
 use crate::runtime::{Poll, Runtime, RuntimeStats, VCtx, VirtualRank};
 use crate::scheduler::{
     controller_seed, poison_sample, CollectorData, Msg, ParallelCheckpoint, ParallelConfig,
     ParallelLevelReport, ParallelReport,
 };
-use crate::trace::{SpanKind, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -190,20 +190,24 @@ struct RootRank<'a> {
     /// A checkpoint is in flight (at most one at a time; shutdown waits
     /// for it so a snapshot cut is never torn).
     ckpt_active: bool,
+    ckpt_start: f64,
     chain_ckpts: Vec<ChainCkpt>,
     coll_ckpts: Vec<CollectorCkpt>,
+    tracer: Tracer,
 }
 
 impl<'a> RootRank<'a> {
     fn new(
         config: &'a RuntimeConfig,
         start: Instant,
+        tracer: &Tracer,
         ckpt: Option<&'a ParallelCheckpoint<'a>>,
     ) -> Self {
         let n_levels = config.n_levels();
         Self {
             config,
             start,
+            tracer: tracer.clone(),
             phase: RootPhase::Levels,
             shards_done: vec![0; n_levels],
             level_done: vec![false; n_levels],
@@ -216,6 +220,7 @@ impl<'a> RootRank<'a> {
             reassignments: 0,
             ckpt,
             ckpt_active: false,
+            ckpt_start: 0.0,
             chain_ckpts: Vec::new(),
             coll_ckpts: Vec::new(),
         }
@@ -265,6 +270,12 @@ impl<'a> RootRank<'a> {
         for rank in self.config.first_controller_rank()..self.config.n_ranks() {
             ctx.send(rank, Msg::CheckpointDone);
         }
+        self.tracer.record(
+            ROOT,
+            SpanKind::Checkpoint,
+            self.ckpt_start,
+            self.tracer.now(),
+        );
         self.ckpt_active = false;
     }
 
@@ -377,6 +388,7 @@ impl VirtualRank<Msg> for RootRank<'_> {
                                     && self.level_done.iter().any(|d| !d)
                                 {
                                     self.ckpt_active = true;
+                                    self.ckpt_start = self.tracer.now();
                                     self.chain_ckpts.clear();
                                     self.coll_ckpts.clear();
                                     for rank in config.first_controller_rank()..config.n_ranks() {
@@ -385,14 +397,19 @@ impl VirtualRank<Msg> for RootRank<'_> {
                                 }
                             }
                             Msg::ControllerCkpt(c) => {
+                                self.tracer.incr(Counter::BarrierAcks);
                                 self.chain_ckpts.push(*c);
                                 self.maybe_request_ledger(ctx);
                             }
                             Msg::CollectorCkpt(c) => {
+                                self.tracer.incr(Counter::BarrierAcks);
                                 self.coll_ckpts.push(*c);
                                 self.maybe_request_ledger(ctx);
                             }
-                            Msg::LedgerCkpt(ledger) => self.complete_checkpoint(ctx, *ledger),
+                            Msg::LedgerCkpt(ledger) => {
+                                self.tracer.incr(Counter::BarrierAcks);
+                                self.complete_checkpoint(ctx, *ledger);
+                            }
                             _ => unreachable!(),
                         }
                     }
@@ -704,6 +721,7 @@ impl VirtualRank<Msg> for PhonebookRank<'_> {
                     speculative,
                 } => {
                     self.in_flight -= 1;
+                    self.tracer.incr(Counter::WriteBacks);
                     if speculative {
                         self.ledger
                             .store_speculation(requester, level, session, serves, *outcome);
@@ -950,9 +968,15 @@ struct ControllerRank<'a> {
     serve_job: Option<ServeJob>,
     announced: bool,
     awaiting: Await,
+    /// Epoch time the outstanding coarse request was issued (feeds the
+    /// request-wait histogram on fulfillment; meaningless when
+    /// `awaiting == Await::None` or tracing is off).
+    await_since: f64,
     /// Own stepping suspended for an in-flight checkpoint (serving
     /// continues, so requesters still reach their own clean boundaries).
     paused: bool,
+    /// Epoch time the quiesce pause began (span recorded on resume).
+    pause_start: f64,
     /// Round-robin cursor over this level's collector shards.
     shard_rr: usize,
 }
@@ -985,7 +1009,9 @@ impl<'a> ControllerRank<'a> {
             serve_job: None,
             announced: false,
             awaiting: Await::None,
+            await_since: 0.0,
             paused: false,
+            pause_start: 0.0,
             shard_rr: rank,
         };
         this.reset_level_state();
@@ -1160,12 +1186,13 @@ impl<'a> ControllerRank<'a> {
             let serve_start = self.tracer.now();
             match self.chain.poll_step(&mut job.rng) {
                 StepOutcome::Done(_) => {
-                    self.tracer.record(
-                        self.rank,
-                        SpanKind::Serve { level: self.level },
-                        serve_start,
-                        self.tracer.now(),
-                    );
+                    let kind = if job.speculative {
+                        SpanKind::Speculate { level: self.level }
+                    } else {
+                        SpanKind::Serve { level: self.level }
+                    };
+                    self.tracer
+                        .record(self.rank, kind, serve_start, self.tracer.now());
                     job.steps_left -= 1;
                 }
                 StepOutcome::NeedCoarse => {
@@ -1184,6 +1211,7 @@ impl<'a> ControllerRank<'a> {
                         },
                     );
                     self.awaiting = Await::ServeStep;
+                    self.await_since = self.tracer.now();
                     self.serve_job = Some(job);
                     return Some(coarse_wait_pred(want));
                 }
@@ -1237,6 +1265,7 @@ impl<'a> ControllerRank<'a> {
                 },
             );
         }
+        self.tracer.incr(Counter::Serves);
         self.announced = true;
         self.awaiting = Await::None;
     }
@@ -1328,8 +1357,19 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                         })),
                     );
                     self.paused = true;
+                    self.pause_start = self.tracer.now();
                 }
-                Msg::CheckpointDone => self.paused = false,
+                Msg::CheckpointDone => {
+                    if self.paused {
+                        self.tracer.record(
+                            self.rank,
+                            SpanKind::Quiesce,
+                            self.pause_start,
+                            self.tracer.now(),
+                        );
+                    }
+                    self.paused = false;
+                }
                 Msg::Reassign { level } => {
                     // abandon this chain, rebuild on the new level;
                     // poison anyone we promised a real serve (never a
@@ -1363,6 +1403,10 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                 Msg::CoarseSample { sample, .. } => *sample,
                 _ => poison_sample(),
             };
+            self.tracer.observe(
+                Hist::RequestWait,
+                (self.tracer.now() - self.await_since) * 1e6,
+            );
             match self.awaiting {
                 Await::OwnStep => {
                     self.awaiting = Await::None;
@@ -1379,12 +1423,13 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                     let job = self.serve_job.as_mut().expect("nested step has a job");
                     let serve_start = self.tracer.now();
                     self.chain.resume_step(&mut job.rng, coarse);
-                    self.tracer.record(
-                        self.rank,
-                        SpanKind::Serve { level: self.level },
-                        serve_start,
-                        self.tracer.now(),
-                    );
+                    let kind = if job.speculative {
+                        SpanKind::Speculate { level: self.level }
+                    } else {
+                        SpanKind::Serve { level: self.level }
+                    };
+                    self.tracer
+                        .record(self.rank, kind, serve_start, self.tracer.now());
                     job.steps_left -= 1;
                     return match self.drive_serve(ctx) {
                         Some(wait) => Poll::Wait(wait),
@@ -1434,6 +1479,7 @@ impl VirtualRank<Msg> for ControllerRank<'_> {
                 }
                 StepOutcome::NeedCoarse => {
                     self.awaiting = Await::OwnStep;
+                    self.await_since = self.tracer.now();
                     let anchor = self
                         .chain
                         .anchor()
@@ -1574,12 +1620,22 @@ pub fn run_runtime_ckpt_on(
         );
     }
     let ckpt_every = checkpoint.map_or(0, |c| c.every);
+    // observe work steals as spans on the stolen rank's timeline. The
+    // probe runs on the thief's idle path only (after the victim queue
+    // lock is released), so installing it cannot perturb scheduling.
+    let probe_installed = tracer.is_enabled();
+    if probe_installed {
+        let t = tracer.clone();
+        runtime.set_steal_probe(Some(std::sync::Arc::new(move |rank, victim| {
+            t.mark(rank, SpanKind::Steal { victim });
+        })));
+    }
     let start = Instant::now();
     let run = runtime.run(
         config.n_ranks(),
         |rank, _| -> Box<dyn VirtualRank<Msg, Output = RoleOut> + Send + '_> {
             if rank == ROOT {
-                Box::new(RootRank::new(config, start, checkpoint))
+                Box::new(RootRank::new(config, start, tracer, checkpoint))
             } else if rank == PHONEBOOK {
                 Box::new(PhonebookRank::new(
                     config,
@@ -1612,6 +1668,9 @@ pub fn run_runtime_ckpt_on(
             }
         },
     );
+    if probe_installed {
+        runtime.set_steal_probe(None);
+    }
     let mut report = None;
     for out in run.results {
         if let RoleOut::Root(boxed) = out {

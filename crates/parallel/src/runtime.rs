@@ -33,7 +33,7 @@
 use crate::comm::Envelope;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Wait predicate returned by [`Poll::Wait`]: `true` for any message that
@@ -101,7 +101,15 @@ struct Shared<M> {
     polls: AtomicUsize,
     wakeups: AtomicUsize,
     steals: AtomicUsize,
+    /// Observer invoked as `(stolen_rank, victim_worker)` after a
+    /// successful steal. Pure observation on the thief's idle path — it
+    /// runs after the victim's queue lock is released and must not
+    /// touch rank state (the obs layer uses it to mark steal events).
+    steal_probe: Option<StealProbe>,
 }
+
+/// Steal observer callback: `(stolen_rank, victim_worker)`.
+pub type StealProbe = Arc<dyn Fn(usize, usize) + Send + Sync>;
 
 impl<M: Send> Shared<M> {
     fn worker_of(&self, rank: usize) -> &Worker {
@@ -272,6 +280,10 @@ pub struct RuntimeRun<R> {
 pub struct Runtime {
     n_workers: usize,
     lifetime: parking_lot::Mutex<RuntimeStats>,
+    /// Optional steal observer installed by the driver (interior
+    /// mutability: the pool is shared by reference). Copied into each
+    /// run's `Shared`, so mid-run installs take effect at the next run.
+    steal_probe: parking_lot::Mutex<Option<StealProbe>>,
 }
 
 impl Runtime {
@@ -284,7 +296,17 @@ impl Runtime {
         Self {
             n_workers,
             lifetime: parking_lot::Mutex::new(RuntimeStats::default()),
+            steal_probe: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) the steal observer for subsequent runs. The
+    /// probe is called as `(stolen_rank, victim_worker)` on the thief's
+    /// idle path only — it cannot affect scheduling order, message
+    /// delivery or rank state, so enabling it preserves bit-identical
+    /// execution.
+    pub fn set_steal_probe(&self, probe: Option<StealProbe>) {
+        *self.steal_probe.lock() = probe;
     }
 
     pub fn n_workers(&self) -> usize {
@@ -335,6 +357,7 @@ impl Runtime {
             polls: AtomicUsize::new(0),
             wakeups: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
+            steal_probe: self.steal_probe.lock().clone(),
         };
         // every rank starts runnable, queued in rank order on its worker
         for (worker_id, worker) in shared.workers.iter().enumerate() {
@@ -424,8 +447,11 @@ fn try_steal<M: Send>(shared: &Shared<M>, thief: usize) -> Option<usize> {
         .lock()
         .expect("runtime poisoned")
         .pop_back();
-    if rank.is_some() {
+    if let Some(rank) = rank {
         shared.steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(probe) = &shared.steal_probe {
+            probe(rank, victim);
+        }
     }
     rank
 }

@@ -20,7 +20,7 @@
 //! to an already-exited server without its requester also being woken).
 
 use crate::comm::{RankCtx, Universe};
-use crate::trace::{SpanKind, Tracer};
+use crate::obs::{Counter, Hist, SpanKind, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -312,6 +312,7 @@ struct RemoteCoarseSource {
     /// Lazily constructed coarse problem for the one-off starting-point
     /// density evaluation.
     coarse_problem: Box<dyn SamplingProblem>,
+    tracer: Tracer,
 }
 
 impl CoarseProposalSource for RemoteCoarseSource {
@@ -329,6 +330,7 @@ impl CoarseProposalSource for RemoteCoarseSource {
             return CoarseAcquire::Ready(poison_sample());
         }
         let mut ctx = self.ctx.lock();
+        let wait_start = self.tracer.now();
         ctx.send(
             PHONEBOOK,
             Msg::CoarseRequest {
@@ -344,6 +346,8 @@ impl CoarseProposalSource for RemoteCoarseSource {
                 Msg::CoarseSample { level, .. } if *level == want_level
             ) || matches!(e.msg, Msg::Poison | Msg::Shutdown)
         });
+        self.tracer
+            .observe(Hist::RequestWait, (self.tracer.now() - wait_start) * 1e6);
         CoarseAcquire::Ready(match env.msg {
             Msg::CoarseSample { sample, .. } => *sample,
             Msg::Shutdown => {
@@ -389,6 +393,7 @@ fn root_role(
     ctx: &mut RankCtx<Msg>,
     config: &ParallelConfig,
     start: Instant,
+    tracer: &Tracer,
     ckpt: Option<&ParallelCheckpoint<'_>>,
 ) -> ParallelReport {
     let n_levels = config.n_levels();
@@ -396,6 +401,7 @@ fn root_role(
     let mut done = vec![false; n_levels];
     // checkpoint assembly state (one checkpoint in flight at a time)
     let mut ckpt_active = false;
+    let mut ckpt_start = 0.0f64;
     let mut chain_ckpts: Vec<ChainCkpt> = Vec::new();
     let mut coll_ckpts: Vec<CollectorCkpt> = Vec::new();
     // phase 1: wait for all collectors (and drive any in-flight
@@ -427,6 +433,7 @@ fn root_role(
             // once every level is done (shutdown is imminent).
             Msg::CheckpointTick if ckpt.is_some() && !ckpt_active && done.iter().any(|d| !d) => {
                 ckpt_active = true;
+                ckpt_start = tracer.now();
                 chain_ckpts.clear();
                 coll_ckpts.clear();
                 for rank in config.first_controller_rank()..ctx.size() {
@@ -434,18 +441,21 @@ fn root_role(
                 }
             }
             Msg::ControllerCkpt(c) => {
+                tracer.incr(Counter::BarrierAcks);
                 chain_ckpts.push(*c);
                 if chain_ckpts.len() == n_controllers && coll_ckpts.len() == n_levels {
                     ctx.send(PHONEBOOK, Msg::Checkpoint);
                 }
             }
             Msg::CollectorCkpt(c) => {
+                tracer.incr(Counter::BarrierAcks);
                 coll_ckpts.push(*c);
                 if chain_ckpts.len() == n_controllers && coll_ckpts.len() == n_levels {
                     ctx.send(PHONEBOOK, Msg::Checkpoint);
                 }
             }
             Msg::LedgerCkpt(ledger) => {
+                tracer.incr(Counter::BarrierAcks);
                 // all controllers paused, collectors flushed, ledger
                 // drained: assemble the consistent cut and persist it
                 let spec = ckpt.expect("ledger checkpoint without a checkpoint spec");
@@ -475,6 +485,7 @@ fn root_role(
                 for rank in config.first_controller_rank()..ctx.size() {
                     ctx.send(rank, Msg::CheckpointDone);
                 }
+                tracer.record(ROOT, SpanKind::Checkpoint, ckpt_start, tracer.now());
                 ckpt_active = false;
             }
             _ => {}
@@ -688,6 +699,7 @@ fn phonebook_role(
                 speculative,
             } => {
                 in_flight -= 1;
+                tracer.incr(Counter::WriteBacks);
                 if speculative {
                     ledger.store_speculation(requester, level, session, serves, *outcome);
                 } else {
@@ -882,6 +894,7 @@ struct ControllerHarness<'a> {
     rank: usize,
     stop: Arc<AtomicBool>,
     counters: Vec<EvalCounter>,
+    tracer: Tracer,
 }
 
 impl ControllerHarness<'_> {
@@ -909,6 +922,7 @@ impl ControllerHarness<'_> {
                 my_rank: self.rank,
                 stop: Arc::clone(&self.stop),
                 coarse_problem: self.problem(level - 1),
+                tracer: self.tracer.clone(),
             };
             MlChain::coupled(
                 level,
@@ -941,6 +955,7 @@ fn controller_role(
         rank,
         stop: Arc::clone(&stop),
         counters: (0..n_levels).map(|_| EvalCounter::new()).collect(),
+        tracer: tracer.clone(),
     };
     let mut rng = resume.map_or_else(
         || StdRng::seed_from_u64(controller_seed(config.seed, rank)),
@@ -977,6 +992,7 @@ fn controller_role(
         let is_top = level + 1 >= n_levels;
         let mut producing = resume_producing.take().unwrap_or(!done_levels[level]);
         let mut paused = false;
+        let mut pause_start = 0.0f64;
         let mut pending_serves: VecDeque<(usize, Box<LedgerLease>, bool)> = VecDeque::new();
         let mut announced = false;
 
@@ -1046,8 +1062,14 @@ fn controller_role(
                         );
                         drop(c);
                         paused = true;
+                        pause_start = tracer.now();
                     }
-                    Msg::CheckpointDone => paused = false,
+                    Msg::CheckpointDone => {
+                        if paused {
+                            tracer.record(rank, SpanKind::Quiesce, pause_start, tracer.now());
+                        }
+                        paused = false;
+                    }
                     _ => {}
                 }
             }
@@ -1067,7 +1089,13 @@ fn controller_role(
                 let snapshot = chain.current_as_sample();
                 let serve_start = tracer.now();
                 let out = ledger::serve(&mut chain, rho, &lease);
-                tracer.record(rank, SpanKind::Serve { level }, serve_start, tracer.now());
+                let kind = if speculative {
+                    SpanKind::Speculate { level }
+                } else {
+                    SpanKind::Serve { level }
+                };
+                tracer.record(rank, kind, serve_start, tracer.now());
+                tracer.incr(Counter::Serves);
                 chain.restore(&snapshot);
                 let c = shared.lock();
                 // one batched message: write-back (or speculative
@@ -1263,7 +1291,7 @@ pub fn run_parallel_ckpt(
     let results = Universe::run(config.n_ranks(), |mut ctx: RankCtx<Msg>| {
         let rank = ctx.rank();
         if rank == ROOT {
-            Some(root_role(&mut ctx, config, start, checkpoint))
+            Some(root_role(&mut ctx, config, start, tracer, checkpoint))
         } else if rank == PHONEBOOK {
             phonebook_role(
                 &mut ctx,
