@@ -69,6 +69,7 @@
 //! tracing off is pinned by `tests/obs_conformance.rs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use uq_bench::{render_table, write_bench, write_bench_csv, BenchJson, ExpArgs};
 use uq_linalg::prob::isotropic_gaussian_logpdf;
@@ -79,8 +80,9 @@ use uq_mlmcmc::LevelFactory;
 use uq_parallel::des::{simulate, DesConfig};
 use uq_parallel::roles::RuntimeReport;
 use uq_parallel::{
-    chrome_trace, run_parallel, run_runtime, run_runtime_ckpt, run_runtime_on, Counter, Epoch,
-    MetricsSnapshot, ParallelCheckpoint, ParallelConfig, Runtime, RuntimeConfig, Tracer,
+    chrome_trace, levels_digest, run_net_worker, run_parallel, run_runtime, run_runtime_ckpt,
+    run_runtime_on, Counter, Epoch, MetricsSnapshot, NetDriver, NetDriverOptions, NetWorkerOptions,
+    ParallelCheckpoint, ParallelConfig, Runtime, RuntimeConfig, Tracer,
 };
 
 /// Gaussian level target with a deterministic busy-spin so one model
@@ -656,6 +658,130 @@ fn checkpoint_study(args: &ExpArgs) {
     println!("durable runs: all checks passed");
 }
 
+/// The multi-process study (PR 9). `--net driver` binds `--listen`,
+/// assembles one logical universe from `--net-workers` worker
+/// processes over TCP, runs the pinned deterministic regime, asserts
+/// bit-identity against the in-process thread scheduler (exact sample
+/// counts plus estimate tolerance when elastic membership migrated
+/// ranks mid-run) and writes `BENCH_PR9.json`. `--net worker` connects
+/// to `--connect`, hosts whatever ranks the driver assigns and exits —
+/// optionally joining elastically (`--join`) or departing at a
+/// checkpoint barrier (`--leave-at N`).
+fn net_study(args: &ExpArgs, role: &str) {
+    // the deterministic bit-parity regime from
+    // tests/net_conformance.rs — one chain per level, load balancing
+    // off, per-sample recording on — on the 2-level zero-spin
+    // hierarchy: any transport reordering or payload corruption moves
+    // the digest, not just the estimate. Only the driver's copy is
+    // authoritative; workers receive it over the wire in `Assign`.
+    let mut config = ParallelConfig::new(vec![3000, 600], vec![1, 1]);
+    config.burn_in = vec![50, 20];
+    config.seed = args.seed;
+    config.load_balancing = false;
+    config.record_samples = true;
+    config.speculation = true;
+
+    if role == "worker" {
+        let tracer = Tracer::with_epoch(Epoch::now());
+        let opts = NetWorkerOptions {
+            connect: args.connect.clone(),
+            join: args.join,
+            leave_at_barrier: args.leave_at,
+        };
+        let report = run_net_worker(Arc::new(CkptHierarchy), &opts, &tracer);
+        let snap = MetricsSnapshot::capture("net worker", &tracer);
+        println!(
+            "net worker done: ranks {:?}, retired {}, frames out/in {}/{}",
+            report.ranks,
+            report.retired,
+            snap.counter(Counter::NetFramesOut),
+            snap.counter(Counter::NetFramesIn)
+        );
+        return;
+    }
+    assert_eq!(role, "driver", "--net must be driver or worker");
+
+    // in-process baseline on the identical config: the digest the net
+    // run must reproduce and the single-process wall-clock its
+    // transport overhead is measured against
+    let t0 = Instant::now();
+    let base = run_parallel(&CkptHierarchy, &config, &Tracer::disabled());
+    let base_elapsed = t0.elapsed().as_secs_f64();
+    let base_digest = levels_digest(&base.levels);
+
+    let tracer = Tracer::with_epoch(Epoch::now());
+    let driver = NetDriver::bind(&args.listen).expect("cannot bind --listen address");
+    println!(
+        "net driver on {} awaiting {} worker process(es)",
+        driver.local_addr(),
+        args.net_workers
+    );
+    let opts = NetDriverOptions {
+        workers: args.net_workers,
+        every: args.checkpoint_every,
+        store: (args.checkpoint_every > 0).then(|| Arc::new(args.run_store())),
+        config_hash: fnv1a(format!("net-study seed={}", args.seed).as_bytes()),
+    };
+    let t1 = Instant::now();
+    let net = driver.run(Arc::new(CkptHierarchy), &config, &opts, &tracer);
+    let net_elapsed = t1.elapsed().as_secs_f64();
+    let net_digest = levels_digest(&net.report.levels);
+
+    // sample counts are exact regardless of membership churn: a leave
+    // or join migrates chains, it never drops or duplicates samples
+    for (level, &n) in config.samples_per_level.iter().enumerate() {
+        assert_eq!(
+            net.report.levels[level].n_samples, n,
+            "level {level} sample count drifted across the transport"
+        );
+    }
+    let base_est = base.expectation()[0];
+    let net_est = net.report.expectation()[0];
+    if net.migrations == 0 {
+        assert_eq!(
+            net_digest, base_digest,
+            "net run over TCP diverged from the in-process scheduler"
+        );
+        println!("net vs in-process: digests identical ✓");
+    } else {
+        // ranks crossed process boundaries mid-run; the estimate must
+        // still agree with the uninterrupted baseline statistically
+        assert!(
+            (net_est - base_est).abs() < 0.1,
+            "elastic net estimate {net_est:.4} drifted from baseline {base_est:.4}"
+        );
+        println!(
+            "net vs in-process: {} migration(s), estimate {net_est:.4} vs {base_est:.4} ✓",
+            net.migrations
+        );
+    }
+
+    let snap = MetricsSnapshot::capture("net driver", &tracer);
+    let mut json = BenchJson::new();
+    json.field("pr", 9)
+        .field_str("transport", "tcp")
+        .field("workers", args.net_workers)
+        .field("checkpoint_every", args.checkpoint_every)
+        .field("n_samples", format!("{:?}", config.samples_per_level))
+        .field("inprocess_elapsed_s", format!("{base_elapsed:.3}"))
+        .field("net_elapsed_s", format!("{net_elapsed:.3}"))
+        .field(
+            "net_overhead_ratio",
+            format!("{:.3}", net_elapsed / base_elapsed),
+        )
+        .field("digest_match", net_digest == base_digest)
+        .field("migrations", net.migrations)
+        .field("dropped_sends", net.dropped_sends)
+        .field("net_frames_out", snap.counter(Counter::NetFramesOut))
+        .field("net_frames_in", snap.counter(Counter::NetFramesIn))
+        .field("net_bytes_out", snap.counter(Counter::NetBytesOut))
+        .field("net_bytes_in", snap.counter(Counter::NetBytesIn))
+        .field("net_reconnects", snap.counter(Counter::NetReconnects))
+        .field("estimate", format!("{net_est:.6}"));
+    write_bench(&args.out_dir, "BENCH_PR9.json", &json.finish());
+    println!("net study: all checks passed");
+}
+
 /// Bit-exact equality of two runtime reports (estimates, variances and
 /// recorded sample streams; evaluation counters and timing excluded —
 /// a resumed run legitimately repeats the rebuild evaluations).
@@ -674,6 +800,12 @@ fn assert_identical(a: &RuntimeReport, b: &RuntimeReport) {
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args = ExpArgs::parse();
+    if let Some(role) = args.net.clone() {
+        // dedicated multi-process invocation: the CI net smoke jobs
+        // drive a driver process plus N worker processes standalone
+        net_study(&args, &role);
+        return;
+    }
     if args.model == "swe" {
         swe_study(&args);
         return;
@@ -1179,7 +1311,10 @@ fn main() {
     }
     if let Some(name) = &args.metrics_out {
         let thread_snap = MetricsSnapshot::capture("validation thread-scheduler", &t_thread);
-        let mut doc = String::from("{\n\"schema\": \"uq-obs-metrics-v1\",\n\"thread\": ");
+        // v2 = v1 plus the net transport counters (appended to the
+        // counters table; every v1 field keeps its position — CI
+        // validates both the v2 additions and v1 stability)
+        let mut doc = String::from("{\n\"schema\": \"uq-obs-metrics-v2\",\n\"thread\": ");
         doc.push_str(thread_snap.to_json().trim_end());
         doc.push_str(",\n\"runtime\": ");
         doc.push_str(snap.to_json().trim_end());

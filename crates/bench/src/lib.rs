@@ -45,13 +45,34 @@ pub struct ExpArgs {
     /// Print a periodic live progress line (stderr) while the traced
     /// phases run.
     pub progress: bool,
+    /// Multi-process TCP transport role (`scaling_live` only):
+    /// `driver` binds `--listen` and assembles the universe, `worker`
+    /// connects to `--connect` and hosts assigned ranks.
+    pub net: Option<String>,
+    /// Listen address for `--net driver` (default `127.0.0.1:0`, an
+    /// OS-assigned port printed at startup; CI passes a fixed port so
+    /// worker processes can rendezvous without parsing driver output).
+    pub listen: String,
+    /// Driver address for `--net worker`.
+    pub connect: String,
+    /// Worker processes the driver waits for at rendezvous.
+    pub net_workers: usize,
+    /// `--net worker`: join an already-running universe elastically
+    /// (admitted at a checkpoint barrier) instead of taking part in the
+    /// initial rendezvous.
+    pub join: bool,
+    /// `--net worker`: depart at this checkpoint barrier, migrating the
+    /// hosted ranks back to the driver.
+    pub leave_at: Option<u64>,
 }
 
 impl ExpArgs {
     /// Parse from `std::env::args`. Recognizes `--paper`,
     /// `--out <dir>`, `--seed <n>`, `--model <name>`,
     /// `--checkpoint-every <n>`, `--resume`, `--crash-at <n>`,
-    /// `--trace-out <file>`, `--metrics-out <file>`, `--progress`.
+    /// `--trace-out <file>`, `--metrics-out <file>`, `--progress`,
+    /// `--net <driver|worker>`, `--listen <addr>`, `--connect <addr>`,
+    /// `--net-workers <n>`, `--join`, `--leave-at <barrier>`.
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             paper: false,
@@ -64,6 +85,12 @@ impl ExpArgs {
             trace_out: None,
             metrics_out: None,
             progress: false,
+            net: None,
+            listen: String::from("127.0.0.1:0"),
+            connect: String::from("127.0.0.1:9417"),
+            net_workers: 2,
+            join: false,
+            leave_at: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
@@ -105,11 +132,41 @@ impl ExpArgs {
                     args.metrics_out = Some(iter.next().expect("--metrics-out needs a value"));
                 }
                 "--progress" => args.progress = true,
+                "--net" => {
+                    let role = iter.next().expect("--net needs driver or worker");
+                    assert!(
+                        role == "driver" || role == "worker",
+                        "--net must be driver or worker, got {role}"
+                    );
+                    args.net = Some(role);
+                }
+                "--listen" => {
+                    args.listen = iter.next().expect("--listen needs an address");
+                }
+                "--connect" => {
+                    args.connect = iter.next().expect("--connect needs an address");
+                }
+                "--net-workers" => {
+                    args.net_workers = iter
+                        .next()
+                        .expect("--net-workers needs a value")
+                        .parse()
+                        .expect("--net-workers must be an integer");
+                }
+                "--join" => args.join = true,
+                "--leave-at" => {
+                    args.leave_at = Some(
+                        iter.next()
+                            .expect("--leave-at needs a value")
+                            .parse()
+                            .expect("--leave-at must be an integer"),
+                    );
+                }
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --paper/--out/--seed/--model/\
                          --checkpoint-every/--resume/--crash-at/--trace-out/--metrics-out/\
-                         --progress)"
+                         --progress/--net/--listen/--connect/--net-workers/--join/--leave-at)"
                     )
                 }
             }

@@ -22,6 +22,9 @@
 //! * [`allocate`] — optimal `N_l ∝ √(V_l/C_l)` sample allocation;
 //! * [`counting`] — instrumentation wrapper counting model evaluations
 //!   and wall-clock cost per level (the `t_l` columns);
+//! * [`wire`] — the shared hand-rolled binary codec (LE ints, `f64`
+//!   via `to_bits`, length-validated decodes) used by both the run
+//!   store's snapshot format and `uq_parallel::net`'s frame format;
 //! * [`store`] — the content-addressed run store: versioned,
 //!   integrity-checked snapshots of a run's full logical state
 //!   (chains, collectors, ledger sessions, RNG streams) enabling
@@ -37,6 +40,7 @@ pub mod estimator;
 pub mod factory;
 pub mod ledger;
 pub mod store;
+pub mod wire;
 
 pub use coupled::{CoarseAcquire, CoarseProposalSource, CoarseSample, MlChain, StepOutcome};
 pub use estimator::{run_sequential, LevelReport, MlmcmcConfig, MlmcmcReport};

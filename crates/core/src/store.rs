@@ -44,315 +44,17 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+// The codec primitives were hoisted into [`crate::wire`] when the net
+// transport became a second consumer; re-exported here so every
+// existing `store::` path keeps working.
+pub use crate::wire::{fnv1a, Codec, Dec, Enc, StoreError};
+
 /// Version of the snapshot byte format. Bump on any layout change; the
 /// decoder refuses other versions (the committed golden snapshot in
 /// `tests/fixtures/` pins backward readability of the current one).
 pub const FORMAT_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 8] = b"UQSNAP\0\0";
-
-/// Errors raised by the snapshot codec and the run store.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Fewer bytes than the format requires (torn/truncated snapshot).
-    Truncated {
-        needed: usize,
-        available: usize,
-    },
-    /// The file does not start with the snapshot magic.
-    BadMagic,
-    /// The format version is not [`FORMAT_VERSION`].
-    BadVersion {
-        found: u32,
-    },
-    /// The trailing FNV-1a check does not match (bit rot / torn write).
-    ChecksumMismatch {
-        expected: u64,
-        found: u64,
-    },
-    /// The snapshot was taken under a different configuration.
-    ConfigMismatch {
-        expected: u64,
-        found: u64,
-    },
-    /// A structured field decoded to an impossible value.
-    Corrupt(&'static str),
-    /// Bytes left over after a complete decode.
-    TrailingBytes(usize),
-    Io(String),
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::Truncated { needed, available } => write!(
-                f,
-                "truncated snapshot: needed {needed} bytes, only {available} available"
-            ),
-            StoreError::BadMagic => write!(f, "not a snapshot (bad magic)"),
-            StoreError::BadVersion { found } => write!(
-                f,
-                "unsupported snapshot format version {found} (this build reads {FORMAT_VERSION})"
-            ),
-            StoreError::ChecksumMismatch { expected, found } => write!(
-                f,
-                "snapshot checksum mismatch (expected {expected:016x}, found {found:016x})"
-            ),
-            StoreError::ConfigMismatch { expected, found } => write!(
-                f,
-                "snapshot belongs to a different run configuration \
-                 (expected config hash {expected:016x}, snapshot has {found:016x})"
-            ),
-            StoreError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
-            StoreError::TrailingBytes(n) => {
-                write!(f, "{n} trailing bytes after a complete snapshot")
-            }
-            StoreError::Io(e) => write!(f, "run store I/O error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-impl From<std::io::Error> for StoreError {
-    fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e.to_string())
-    }
-}
-
-/// FNV-1a 64-bit hash — the store's content address and integrity check.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// codec
-// ---------------------------------------------------------------------
-
-/// Byte-buffer encoder (little-endian throughout, `f64` via `to_bits`).
-#[derive(Default)]
-pub struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-
-    fn bytes(&mut self, b: &[u8]) {
-        self.buf.extend_from_slice(b);
-    }
-}
-
-/// Cursor decoder over a byte slice; every read is bounds-checked and
-/// every collection length is validated against the remaining bytes
-/// before allocation, so corrupt lengths fail cleanly instead of
-/// attempting absurd allocations.
-pub struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Dec<'a> {
-    pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        if self.remaining() < n {
-            return Err(StoreError::Truncated {
-                needed: n,
-                available: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-}
-
-/// A value with a hand-rolled binary encoding. Encoding is
-/// deterministic: equal values produce equal bytes (content addressing
-/// relies on it), including NaN payload bits for floats.
-pub trait Codec: Sized {
-    fn encode(&self, enc: &mut Enc);
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError>;
-}
-
-impl Codec for u8 {
-    fn encode(&self, enc: &mut Enc) {
-        enc.bytes(&[*self]);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok(dec.take(1)?[0])
-    }
-}
-
-impl Codec for u32 {
-    fn encode(&self, enc: &mut Enc) {
-        enc.bytes(&self.to_le_bytes());
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok(u32::from_le_bytes(dec.take(4)?.try_into().unwrap()))
-    }
-}
-
-impl Codec for u64 {
-    fn encode(&self, enc: &mut Enc) {
-        enc.bytes(&self.to_le_bytes());
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok(u64::from_le_bytes(dec.take(8)?.try_into().unwrap()))
-    }
-}
-
-impl Codec for usize {
-    fn encode(&self, enc: &mut Enc) {
-        (*self as u64).encode(enc);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        let v = u64::decode(dec)?;
-        usize::try_from(v).map_err(|_| StoreError::Corrupt("usize overflow"))
-    }
-}
-
-impl Codec for f64 {
-    fn encode(&self, enc: &mut Enc) {
-        self.to_bits().encode(enc);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok(f64::from_bits(u64::decode(dec)?))
-    }
-}
-
-impl Codec for bool {
-    fn encode(&self, enc: &mut Enc) {
-        enc.bytes(&[u8::from(*self)]);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        match dec.take(1)?[0] {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(StoreError::Corrupt("bool tag")),
-        }
-    }
-}
-
-impl Codec for String {
-    fn encode(&self, enc: &mut Enc) {
-        self.len().encode(enc);
-        enc.bytes(self.as_bytes());
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        let len = usize::decode(dec)?;
-        let bytes = dec.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt("utf-8 string"))
-    }
-}
-
-impl Codec for [u64; 4] {
-    fn encode(&self, enc: &mut Enc) {
-        for w in self {
-            w.encode(enc);
-        }
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok([
-            u64::decode(dec)?,
-            u64::decode(dec)?,
-            u64::decode(dec)?,
-            u64::decode(dec)?,
-        ])
-    }
-}
-
-impl<T: Codec> Codec for Vec<T> {
-    fn encode(&self, enc: &mut Enc) {
-        self.len().encode(enc);
-        for item in self {
-            item.encode(enc);
-        }
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        let len = usize::decode(dec)?;
-        // every element occupies at least one byte, so a corrupt length
-        // can never demand more elements than bytes remain
-        if len > dec.remaining() {
-            return Err(StoreError::Truncated {
-                needed: len,
-                available: dec.remaining(),
-            });
-        }
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(T::decode(dec)?);
-        }
-        Ok(out)
-    }
-}
-
-impl<T: Codec> Codec for Option<T> {
-    fn encode(&self, enc: &mut Enc) {
-        match self {
-            None => enc.bytes(&[0]),
-            Some(v) => {
-                enc.bytes(&[1]);
-                v.encode(enc);
-            }
-        }
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        match dec.take(1)?[0] {
-            0 => Ok(None),
-            1 => Ok(Some(T::decode(dec)?)),
-            _ => Err(StoreError::Corrupt("option tag")),
-        }
-    }
-}
-
-impl<T: Codec> Codec for Box<T> {
-    fn encode(&self, enc: &mut Enc) {
-        (**self).encode(enc);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok(Box::new(T::decode(dec)?))
-    }
-}
-
-impl<A: Codec, B: Codec> Codec for (A, B) {
-    fn encode(&self, enc: &mut Enc) {
-        self.0.encode(enc);
-        self.1.encode(enc);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok((A::decode(dec)?, B::decode(dec)?))
-    }
-}
-
-impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
-    fn encode(&self, enc: &mut Enc) {
-        self.0.encode(enc);
-        self.1.encode(enc);
-        self.2.encode(enc);
-    }
-    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
-        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
-    }
-}
 
 impl Codec for CoarseSample {
     fn encode(&self, enc: &mut Enc) {
@@ -501,6 +203,38 @@ impl Codec for LedgerState {
             generations: Vec::decode(dec)?,
             candidates: Vec::decode(dec)?,
             stats: LedgerStats::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for crate::ledger::LedgerLease {
+    fn encode(&self, enc: &mut Enc) {
+        self.session_seed.encode(enc);
+        self.serves.encode(enc);
+        self.pairing.encode(enc);
+        self.anchor.encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(crate::ledger::LedgerLease {
+            session_seed: u64::decode(dec)?,
+            serves: u64::decode(dec)?,
+            pairing: Option::decode(dec)?,
+            anchor: CoarseSample::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for crate::ledger::ServeOutcome {
+    fn encode(&self, enc: &mut Enc) {
+        self.proposal.encode(enc);
+        self.pairing.encode(enc);
+        self.diverged.encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(crate::ledger::ServeOutcome {
+            proposal: CoarseSample::decode(dec)?,
+            pairing: CoarseSample::decode(dec)?,
+            diverged: bool::decode(dec)?,
         })
     }
 }

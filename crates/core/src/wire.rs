@@ -1,0 +1,325 @@
+//! Shared wire-format primitives: the hand-rolled little-endian codec
+//! used by both the run store's snapshot format ([`crate::store`]) and
+//! the multi-process net transport's frame format (`uq_parallel::net`).
+//!
+//! Everything here was hoisted out of `store.rs` once a second consumer
+//! appeared; the public names are re-exported from [`crate::store`] so
+//! existing paths keep working.
+//!
+//! Design rules, shared by every consumer:
+//!
+//! * little-endian integers, `f64` via `to_bits` (NaN payloads survive
+//!   a round-trip bit-for-bit — content addressing and bit-parity
+//!   conformance both rely on it);
+//! * every decode is bounds-checked, and every collection length is
+//!   validated against the remaining bytes **before** allocation, so a
+//!   corrupt length fails cleanly instead of attempting an absurd
+//!   allocation;
+//! * encoding is deterministic: equal values produce equal bytes.
+
+use std::fmt;
+
+/// Errors raised by the wire codec, the snapshot format and the run
+/// store. (Named for its original home in `store`; the net transport
+/// reuses it for frame decoding, where "snapshot" reads as "frame".)
+#[derive(Debug)]
+pub enum StoreError {
+    /// Fewer bytes than the format requires (torn/truncated input).
+    Truncated {
+        needed: usize,
+        available: usize,
+    },
+    /// The input does not start with the expected magic.
+    BadMagic,
+    /// The format version is not the one this build reads.
+    BadVersion {
+        found: u32,
+    },
+    /// The trailing FNV-1a check does not match (bit rot / torn write).
+    ChecksumMismatch {
+        expected: u64,
+        found: u64,
+    },
+    /// The snapshot was taken under a different configuration.
+    ConfigMismatch {
+        expected: u64,
+        found: u64,
+    },
+    /// A structured field decoded to an impossible value.
+    Corrupt(&'static str),
+    /// Bytes left over after a complete decode.
+    TrailingBytes(usize),
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { needed, available } => write!(
+                f,
+                "truncated input: needed {needed} bytes, only {available} available"
+            ),
+            StoreError::BadMagic => write!(f, "bad magic (not a snapshot / net frame)"),
+            StoreError::BadVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch (expected {expected:016x}, found {found:016x})"
+            ),
+            StoreError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot belongs to a different run configuration \
+                 (expected config hash {expected:016x}, snapshot has {found:016x})"
+            ),
+            StoreError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            StoreError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete decode")
+            }
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// FNV-1a 64-bit hash — content address, snapshot integrity check and
+/// net-frame checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Byte-buffer encoder (little-endian throughout, `f64` via `to_bits`).
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes (frame magics and the like; structured values
+    /// should go through [`Codec::encode`]).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor decoder over a byte slice; every read is bounds-checked and
+/// every collection length is validated against the remaining bytes
+/// before allocation, so corrupt lengths fail cleanly instead of
+/// attempting absurd allocations.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes (frame magics and the like; structured values
+    /// should go through [`Codec::decode`]).
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// A value with a hand-rolled binary encoding. Encoding is
+/// deterministic: equal values produce equal bytes (content addressing
+/// relies on it), including NaN payload bits for floats.
+pub trait Codec: Sized {
+    fn encode(&self, enc: &mut Enc);
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError>;
+}
+
+impl Codec for u8 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.bytes(&[*self]);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(dec.take(1)?[0])
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.bytes(&self.to_le_bytes());
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(u32::from_le_bytes(dec.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.bytes(&self.to_le_bytes());
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(u64::from_le_bytes(dec.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, enc: &mut Enc) {
+        (*self as u64).encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        let v = u64::decode(dec)?;
+        usize::try_from(v).map_err(|_| StoreError::Corrupt("usize overflow"))
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, enc: &mut Enc) {
+        self.to_bits().encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(f64::from_bits(u64::decode(dec)?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Enc) {
+        enc.bytes(&[u8::from(*self)]);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        match dec.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(StoreError::Corrupt("bool tag")),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, enc: &mut Enc) {
+        self.len().encode(enc);
+        enc.bytes(self.as_bytes());
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        let len = usize::decode(dec)?;
+        let bytes = dec.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt("utf-8 string"))
+    }
+}
+
+impl Codec for [u64; 4] {
+    fn encode(&self, enc: &mut Enc) {
+        for w in self {
+            w.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok([
+            u64::decode(dec)?,
+            u64::decode(dec)?,
+            u64::decode(dec)?,
+            u64::decode(dec)?,
+        ])
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, enc: &mut Enc) {
+        self.len().encode(enc);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        let len = usize::decode(dec)?;
+        // every element occupies at least one byte, so a corrupt length
+        // can never demand more elements than bytes remain
+        if len > dec.remaining() {
+            return Err(StoreError::Truncated {
+                needed: len,
+                available: dec.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            None => enc.bytes(&[0]),
+            Some(v) => {
+                enc.bytes(&[1]);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        match dec.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            _ => Err(StoreError::Corrupt("option tag")),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Box<T> {
+    fn encode(&self, enc: &mut Enc) {
+        (**self).encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok(Box::new(T::decode(dec)?))
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, enc: &mut Enc) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, enc: &mut Enc) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Dec) -> Result<Self, StoreError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}

@@ -18,12 +18,34 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// Where a send to a given destination rank is delivered: a direct
+/// channel to a rank hosted in this process, or the process's shared
+/// relay channel ([`crate::net`]'s router/uplink), with the destination
+/// rank tagged on because relayed destinations share one channel —
+/// sharing is what preserves a sender's program order across remote
+/// destinations once frames hit a socket.
+pub(crate) enum Outbox<M> {
+    Local(Sender<Envelope<M>>),
+    Relay(Sender<(usize, Envelope<M>)>),
+}
+
+// manual impl: `Sender` clones regardless of `M`, the derive would
+// needlessly demand `M: Clone`
+impl<M> Clone for Outbox<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Outbox::Local(tx) => Outbox::Local(tx.clone()),
+            Outbox::Relay(tx) => Outbox::Relay(tx.clone()),
+        }
+    }
+}
+
 /// Per-rank communication handle.
 pub struct RankCtx<M: Send> {
     rank: usize,
     size: usize,
     rx: Receiver<Envelope<M>>,
-    txs: Vec<Sender<Envelope<M>>>,
+    txs: Vec<Outbox<M>>,
     /// Messages received but not yet matched by `recv_match`.
     buffer: VecDeque<Envelope<M>>,
     /// Universe-wide tally of sends to already-exited ranks.
@@ -31,6 +53,25 @@ pub struct RankCtx<M: Send> {
 }
 
 impl<M: Send> RankCtx<M> {
+    /// Assemble a handle from raw parts — how [`Universe::run_counted`]
+    /// and the net transport build their rank endpoints.
+    pub(crate) fn from_parts(
+        rank: usize,
+        size: usize,
+        rx: Receiver<Envelope<M>>,
+        txs: Vec<Outbox<M>>,
+        dropped_sends: Arc<AtomicUsize>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            rx,
+            txs,
+            buffer: VecDeque::new(),
+            dropped_sends,
+        }
+    }
+
     /// This rank's index.
     pub fn rank(&self) -> usize {
         self.rank
@@ -42,33 +83,43 @@ impl<M: Send> RankCtx<M> {
     }
 
     /// Send `msg` to rank `to`. Sends never block (unbounded channels);
-    /// sends to already-exited ranks are dropped — the teardown semantics
-    /// the scheduler relies on — but counted (and warned about in debug
-    /// builds), so shutdown message loss is observable via
+    /// sends to already-exited ranks — and sends to out-of-range rank
+    /// indices, a routine race under elastic membership rather than a
+    /// programmer error — are dropped but counted (and warned about in
+    /// debug builds), so message loss is observable via
     /// [`Universe::run_counted`] instead of silent.
     pub fn send(&self, to: usize, msg: M) {
-        assert!(to < self.size, "send: rank {to} out of range");
-        if self.txs[to]
-            .send(Envelope {
-                from: self.rank,
-                msg,
-            })
-            .is_err()
-        {
-            let prev = self.dropped_sends.fetch_add(1, Ordering::Relaxed);
-            // debug builds surface the first loss per universe (teardown
-            // legitimately drops a handful; the count tells the rest)
-            #[cfg(debug_assertions)]
-            if prev == 0 {
-                eprintln!(
-                    "uq-parallel comm: dropping send from rank {} to exited rank {to} \
-                     (further drops counted silently)",
-                    self.rank
-                );
-            }
-            #[cfg(not(debug_assertions))]
-            let _ = prev;
+        if to >= self.txs.len() {
+            self.note_drop(to, "out-of-range");
+            return;
         }
+        let env = Envelope {
+            from: self.rank,
+            msg,
+        };
+        let lost = match &self.txs[to] {
+            Outbox::Local(tx) => tx.send(env).is_err(),
+            Outbox::Relay(tx) => tx.send((to, env)).is_err(),
+        };
+        if lost {
+            self.note_drop(to, "exited");
+        }
+    }
+
+    fn note_drop(&self, to: usize, why: &str) {
+        let prev = self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+        // debug builds surface the first loss per universe (teardown
+        // legitimately drops a handful; the count tells the rest)
+        #[cfg(debug_assertions)]
+        if prev == 0 {
+            eprintln!(
+                "uq-parallel comm: dropping send from rank {} to {why} rank {to} \
+                 (further drops counted silently)",
+                self.rank
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (prev, to, why);
     }
 
     /// Sends to exited ranks observed universe-wide so far.
@@ -170,7 +221,7 @@ impl Universe {
         let mut rxs = Vec::with_capacity(n_ranks);
         for _ in 0..n_ranks {
             let (tx, rx) = unbounded();
-            txs.push(tx);
+            txs.push(Outbox::Local(tx));
             rxs.push(rx);
         }
         let dropped_sends = Arc::new(AtomicUsize::new(0));
@@ -178,14 +229,8 @@ impl Universe {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_ranks);
             for (rank, rx) in rxs.into_iter().enumerate() {
-                let ctx = RankCtx {
-                    rank,
-                    size: n_ranks,
-                    rx,
-                    txs: txs.clone(),
-                    buffer: VecDeque::new(),
-                    dropped_sends: Arc::clone(&dropped_sends),
-                };
+                let ctx =
+                    RankCtx::from_parts(rank, n_ranks, rx, txs.clone(), Arc::clone(&dropped_sends));
                 let f = &f;
                 handles.push(scope.spawn(move || f(ctx)));
             }
@@ -435,6 +480,20 @@ mod tests {
             ctx.dropped_sends()
         });
         assert!(stats.dropped_sends >= 1);
+    }
+
+    #[test]
+    fn out_of_range_send_is_counted_not_fatal() {
+        // under elastic membership a stale rank index is a routine race:
+        // the send must be dropped and tallied, never panic
+        let (_, stats) = Universe::run_counted(2, |ctx: RankCtx<CtlMsg>| {
+            if ctx.rank() == 0 {
+                ctx.send(99, CtlMsg::Data(0));
+                ctx.send(7, CtlMsg::Poison);
+            }
+            ctx.dropped_sends()
+        });
+        assert_eq!(stats.dropped_sends, 2);
     }
 
     #[test]

@@ -29,17 +29,26 @@
 //! * [`des`] — a discrete-event simulator replaying the same scheduling
 //!   policy in virtual time, used to reproduce the strong/weak scaling
 //!   studies (Figs. 11–12) beyond any hardware.
+//! * [`net`] — the multi-process TCP transport: the same role protocols
+//!   over length-prefixed, checksummed frames, assembling one logical
+//!   universe from a driver plus N worker processes, with elastic
+//!   join/leave at checkpoint barriers via phonebook session migration.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod comm;
 pub mod des;
+pub mod net;
 pub mod obs;
 pub mod roles;
 pub mod runtime;
 pub mod scheduler;
 
 pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
+pub use net::{
+    decode_frame, encode_frame, levels_digest, report_digest, run_net_worker, Frame, NetDriver,
+    NetDriverOptions, NetReport, NetWorkerOptions, NetWorkerReport, PROTOCOL_VERSION,
+};
 pub use obs::{
     chrome_trace, Counter, Epoch, Hist, HistSnapshot, MetricsSnapshot, ObservedFactory, SpanKind,
     TraceEvent, Tracer,

@@ -193,10 +193,25 @@ pub enum Counter {
     Steals,
     /// Sends to already-exited ranks (observable shutdown loss).
     DroppedSends,
+    // --- net transport counters (schema v2; appended at the end so
+    // every v1 counter keeps its position and the v1 JSON fields stay
+    // byte-stable) ---
+    /// Frames written to peer sockets by this process.
+    NetFramesOut,
+    /// Frames read from peer sockets by this process.
+    NetFramesIn,
+    /// Bytes written to peer sockets (frame headers included).
+    NetBytesOut,
+    /// Bytes read from peer sockets (frame headers included).
+    NetBytesIn,
+    /// Sockets accepted beyond the initial rendezvous (elastic joiners).
+    NetReconnects,
+    /// Ranks migrated across processes at checkpoint barriers.
+    NetMigrations,
 }
 
 /// All counters, in `repr` order (the atomic array layout).
-pub const COUNTERS: [Counter; 8] = [
+pub const COUNTERS: [Counter; 14] = [
     Counter::Serves,
     Counter::WriteBacks,
     Counter::BarrierAcks,
@@ -205,6 +220,12 @@ pub const COUNTERS: [Counter; 8] = [
     Counter::SpecMisses,
     Counter::Steals,
     Counter::DroppedSends,
+    Counter::NetFramesOut,
+    Counter::NetFramesIn,
+    Counter::NetBytesOut,
+    Counter::NetBytesIn,
+    Counter::NetReconnects,
+    Counter::NetMigrations,
 ];
 
 impl Counter {
@@ -219,6 +240,12 @@ impl Counter {
             Counter::SpecMisses => "spec_misses",
             Counter::Steals => "steals",
             Counter::DroppedSends => "dropped_sends",
+            Counter::NetFramesOut => "net_frames_out",
+            Counter::NetFramesIn => "net_frames_in",
+            Counter::NetBytesOut => "net_bytes_out",
+            Counter::NetBytesIn => "net_bytes_in",
+            Counter::NetReconnects => "net_reconnects",
+            Counter::NetMigrations => "net_migrations",
         }
     }
 }

@@ -186,10 +186,25 @@ impl<M: Send> VCtx<'_, M> {
         self.size
     }
 
-    /// Send `msg` to rank `to`; never blocks. Sends to exited ranks are
-    /// dropped and counted in [`RuntimeStats::dropped_sends`].
+    /// Send `msg` to rank `to`; never blocks. Sends to exited ranks —
+    /// and to out-of-range rank indices, a routine race under elastic
+    /// membership rather than a programmer error — are dropped and
+    /// counted in [`RuntimeStats::dropped_sends`].
     pub fn send(&self, to: usize, msg: M) {
-        assert!(to < self.size, "send: rank {to} out of range");
+        if to >= self.size {
+            let prev = self.shared.dropped_sends.fetch_add(1, Ordering::Relaxed);
+            #[cfg(debug_assertions)]
+            if prev == 0 {
+                eprintln!(
+                    "uq-parallel runtime: dropping send from rank {} to out-of-range rank {to} \
+                     (further drops counted silently)",
+                    self.rank
+                );
+            }
+            #[cfg(not(debug_assertions))]
+            let _ = prev;
+            return;
+        }
         self.shared.send(
             to,
             Envelope {

@@ -143,6 +143,12 @@ pub enum Msg {
     /// Root → controllers (broadcast): snapshot persisted, resume
     /// stepping.
     CheckpointDone,
+    /// Root → a controller being migrated (net transport): exit this
+    /// thread at the held checkpoint barrier instead of resuming. The
+    /// rank's state travels in the barrier snapshot; the transport
+    /// re-hosts it elsewhere and rewires routes before anyone may send
+    /// to it again (see `crate::net`).
+    Retire,
 }
 
 /// Post-snapshot hook for the parallel backends, called with
@@ -162,6 +168,20 @@ pub struct ParallelCheckpoint<'a> {
     /// Called after each persisted snapshot with `(samples_done, hash)`
     /// — the crash-injection harness aborts the process from here.
     pub on_snapshot: Option<&'a ParallelSnapshotHook<'a>>,
+}
+
+/// Transport hooks for elastic membership (used by `crate::net`): at
+/// every completed checkpoint barrier the root asks the transport which
+/// ranks must retire (`plan`), sends each a [`Msg::Retire`], and blocks
+/// in `rehost` until the transport has re-hosted those ranks elsewhere
+/// from the just-persisted snapshot and rewired its routes. Only then
+/// is `CheckpointDone` broadcast and stepping resumed — the barrier
+/// window (every chain paused at a clean boundary, ledger drained, no
+/// messages in flight toward controllers) is what makes migration a
+/// plain data move.
+pub(crate) struct ElasticOps<'a> {
+    pub plan: &'a (dyn Fn(&RunSnapshot) -> Vec<usize> + Sync),
+    pub rehost: &'a (dyn Fn(&RunSnapshot, &[usize]) + Sync),
 }
 
 /// Data a collector ships back to the root.
@@ -234,12 +254,12 @@ impl ParallelConfig {
         2 + self.n_levels() + self.chains_per_level.iter().sum::<usize>()
     }
 
-    fn first_controller_rank(&self) -> usize {
+    pub(crate) fn first_controller_rank(&self) -> usize {
         2 + self.n_levels()
     }
 
     /// Initial level of the controller at `rank`.
-    fn initial_level(&self, rank: usize) -> usize {
+    pub(crate) fn initial_level(&self, rank: usize) -> usize {
         let mut offset = rank - self.first_controller_rank();
         for (level, &count) in self.chains_per_level.iter().enumerate() {
             if offset < count {
@@ -378,10 +398,10 @@ pub(crate) fn poison_sample() -> CoarseSample {
     CoarseSample::plain(Vec::new(), f64::NEG_INFINITY, Vec::new())
 }
 
-const ROOT: usize = 0;
-const PHONEBOOK: usize = 1;
+pub(crate) const ROOT: usize = 0;
+pub(crate) const PHONEBOOK: usize = 1;
 
-fn collector_rank(level: usize) -> usize {
+pub(crate) fn collector_rank(level: usize) -> usize {
     2 + level
 }
 
@@ -389,12 +409,13 @@ fn collector_rank(level: usize) -> usize {
 // roles
 // ---------------------------------------------------------------------
 
-fn root_role(
+pub(crate) fn root_role(
     ctx: &mut RankCtx<Msg>,
     config: &ParallelConfig,
     start: Instant,
     tracer: &Tracer,
     ckpt: Option<&ParallelCheckpoint<'_>>,
+    elastic: Option<&ElasticOps<'_>>,
 ) -> ParallelReport {
     let n_levels = config.n_levels();
     let n_controllers = ctx.size() - config.first_controller_rank();
@@ -482,8 +503,21 @@ fn root_role(
                 if let Some(hook) = spec.on_snapshot {
                     hook(samples_done, &hash);
                 }
+                // elastic membership (net transport): retire and re-host
+                // ranks while the barrier still holds every chain paused
+                // and the ledger drained — no message can race the move
+                let retiring = elastic.map_or_else(Vec::new, |e| (e.plan)(&snapshot));
+                if let Some(e) = elastic.filter(|_| !retiring.is_empty()) {
+                    for &r in &retiring {
+                        ctx.send(r, Msg::Retire);
+                    }
+                    (e.rehost)(&snapshot, &retiring);
+                }
                 for rank in config.first_controller_rank()..ctx.size() {
-                    ctx.send(rank, Msg::CheckpointDone);
+                    // a re-hosted rank resumes unpaused; it needs no Done
+                    if !retiring.contains(&rank) {
+                        ctx.send(rank, Msg::CheckpointDone);
+                    }
                 }
                 tracer.record(ROOT, SpanKind::Checkpoint, ckpt_start, tracer.now());
                 ckpt_active = false;
@@ -562,7 +596,7 @@ fn root_role(
     }
 }
 
-fn phonebook_role(
+pub(crate) fn phonebook_role(
     ctx: &mut RankCtx<Msg>,
     config: &ParallelConfig,
     tracer: &Tracer,
@@ -791,7 +825,7 @@ fn phonebook_role(
     }
 }
 
-fn collector_role(
+pub(crate) fn collector_role(
     ctx: &mut RankCtx<Msg>,
     level: usize,
     config: &ParallelConfig,
@@ -936,15 +970,19 @@ impl ControllerHarness<'_> {
     }
 }
 
+/// Returns `Some(ctx)` only when the rank was told to [`Msg::Retire`]
+/// at a held checkpoint barrier: the net transport takes the channel
+/// back (with anything still queued in it) and re-hosts the rank
+/// elsewhere from the barrier snapshot.
 #[allow(clippy::too_many_lines)]
-fn controller_role(
+pub(crate) fn controller_role(
     ctx: RankCtx<Msg>,
     factory: &dyn LevelFactory,
     config: &ParallelConfig,
     tracer: &Tracer,
     initial_level: usize,
     resume: Option<&ChainCkpt>,
-) {
+) -> Option<RankCtx<Msg>> {
     let rank = ctx.rank();
     let n_levels = config.n_levels();
     let shared: SharedCtx = Arc::new(parking_lot::Mutex::new(ctx));
@@ -966,6 +1004,7 @@ fn controller_role(
     // burn-in: thread-backend checkpoints only happen past it)
     let mut resume_chain = resume.map(|r| r.chain.clone());
     let mut resume_producing = resume.map(|r| r.producing);
+    let mut retired = false;
 
     'levels: loop {
         // (re)build on the current level
@@ -1070,8 +1109,19 @@ fn controller_role(
                         }
                         paused = false;
                     }
+                    Msg::Retire => {
+                        // only ever sent while a barrier holds: our state
+                        // is already in the snapshot and no serve can be
+                        // in flight toward us
+                        debug_assert!(paused, "Retire outside a checkpoint barrier");
+                        debug_assert!(pending_serves.is_empty(), "Retire with pending serves");
+                        retired = true;
+                    }
                     _ => {}
                 }
+            }
+            if retired {
+                break 'levels;
             }
             if stop.load(Ordering::Relaxed) {
                 break 'levels;
@@ -1182,6 +1232,16 @@ fn controller_role(
         }
     }
 
+    if retired {
+        // being re-hosted, not shut down: no poisons, no report (the
+        // re-hosted instance reports at shutdown) — hand the channel
+        // back to the transport with whatever is still queued in it
+        drop(harness);
+        return Arc::try_unwrap(shared)
+            .ok()
+            .map(parking_lot::Mutex::into_inner);
+    }
+
     // teardown: poison outstanding real serve requests (speculative
     // targets never asked — dropping theirs is silent), then report
     let mut c = shared.lock();
@@ -1206,12 +1266,13 @@ fn controller_role(
         .map(EvalCounter::total_secs)
         .collect();
     c.send(ROOT, Msg::ControllerReport { evals, eval_secs });
+    None
 }
 
 thread_local! {
     /// Level override set by a `Reassign` (thread-local because each
     /// controller owns exactly one thread).
-    static LEVEL: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    pub(crate) static LEVEL: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
 /// Run parallel MLMCMC over the factory's hierarchy.
@@ -1291,7 +1352,7 @@ pub fn run_parallel_ckpt(
     let results = Universe::run(config.n_ranks(), |mut ctx: RankCtx<Msg>| {
         let rank = ctx.rank();
         if rank == ROOT {
-            Some(root_role(&mut ctx, config, start, tracer, checkpoint))
+            Some(root_role(&mut ctx, config, start, tracer, checkpoint, None))
         } else if rank == PHONEBOOK {
             phonebook_role(
                 &mut ctx,
@@ -1314,7 +1375,8 @@ pub fn run_parallel_ckpt(
             LEVEL.with(|l| l.set(None));
             let chain_ckpt = resume.map(|s| &s.chains[rank - config.first_controller_rank()]);
             let level = chain_ckpt.map_or_else(|| config.initial_level(rank), |c| c.level);
-            controller_role(ctx, factory, config, tracer, level, chain_ckpt);
+            // no elastic membership in-process: never retires
+            let _ = controller_role(ctx, factory, config, tracer, level, chain_ckpt);
             None
         }
     });

@@ -1,0 +1,134 @@
+//! Protocol-version compatibility guard for the net wire format
+//! (`uq_parallel::net`), alongside `golden_snapshot_guard.rs`: a frame
+//! committed to the repository at `PROTOCOL_VERSION = 1` must keep
+//! decoding — bit-for-bit — on every future revision of the codec. Any
+//! change to the `Msg`/`Frame` encodings or the frame header must
+//! either keep these bytes valid or bump `net::PROTOCOL_VERSION` (and
+//! add a new golden alongside this one); silently re-interpreting
+//! frames across a version skew is the failure mode this test catches.
+//!
+//! Regenerate (only after an *intentional* protocol bump) with:
+//! `UQ_WRITE_GOLDEN=1 cargo test -p uq-tests --test golden_frame_guard`
+
+use uq_mlmcmc::coupled::{ChainState, CoarseSample};
+use uq_mlmcmc::ledger::{LedgerLease, ServeOutcome};
+use uq_mlmcmc::store::ChainCkpt;
+use uq_parallel::scheduler::Msg;
+use uq_parallel::{decode_frame, encode_frame, Frame, ParallelConfig, PROTOCOL_VERSION};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/golden_frame_v1.bin");
+
+fn cs(theta: f64, ld: f64) -> CoarseSample {
+    CoarseSample::plain(vec![theta], ld, vec![theta])
+}
+
+/// The pinned frame: an `Assign` carrying every payload class the
+/// protocol migrates — the run configuration, a resumable chain
+/// checkpoint, and leftover messages including a full ledger serve
+/// round-trip (`Serve` with its lease, `ServeDone` with its outcome).
+fn golden() -> Frame {
+    let mut config = ParallelConfig::new(vec![400, 150], vec![1, 1]);
+    config.burn_in = vec![30, 20];
+    config.seed = 0x5EED_0000_0009;
+    config.record_samples = true;
+    config.speculation = true;
+    let anchor = CoarseSample {
+        theta: vec![0.125, -2.5],
+        log_density: -3.75,
+        qoi: vec![0.125],
+        sub_anchor: Some(Box::new(cs(-0.5, -1.0))),
+        mate: Some(Box::new(cs(0.25, -0.125))),
+    };
+    let ckpt = ChainCkpt {
+        rank: 4,
+        level: 1,
+        burnin_left: 0,
+        producing: true,
+        done_levels: vec![true, false],
+        shard_rr: 0,
+        rng: [1, 2, 3, 0xFFFF_FFFF_FFFF_FFFF],
+        chain: ChainState {
+            steps: 421,
+            accepted: 137,
+            theta: vec![0.75, -0.375],
+            log_density: -2.25,
+            qoi: vec![0.75],
+            anchor: Some(anchor.clone()),
+            last_coarse: Some(cs(0.0625, -4.5)),
+            last_pairing: None,
+            source: None,
+        },
+    };
+    let leftovers = vec![
+        (
+            4,
+            1,
+            Msg::Serve {
+                reply_to: 5,
+                lease: Box::new(LedgerLease {
+                    session_seed: 0xDEAD_BEEF,
+                    serves: 41,
+                    pairing: Some(cs(0.875, -1.5)),
+                    anchor: cs(-0.875, -2.0),
+                }),
+                speculative: true,
+            },
+        ),
+        (
+            4,
+            5,
+            Msg::ServeDone {
+                requester: 5,
+                level: 0,
+                session: 0xDEAD_BEEF,
+                serves: 42,
+                outcome: Box::new(ServeOutcome {
+                    proposal: cs(0.9375, -1.25),
+                    pairing: cs(-0.9375, -1.75),
+                    diverged: true,
+                }),
+                speculative: false,
+            },
+        ),
+        (4, 0, Msg::StopProducing { level: 0 }),
+    ];
+    Frame::Assign {
+        n_ranks: 6,
+        ranks: vec![4],
+        config,
+        ckpts: vec![ckpt],
+        leftovers,
+    }
+}
+
+#[test]
+fn committed_golden_frame_still_decodes() {
+    let expected = encode_frame(&golden());
+    if std::env::var("UQ_WRITE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, &expected).unwrap();
+    }
+    let bytes = std::fs::read(GOLDEN_PATH)
+        .expect("committed golden frame missing — see module docs to regenerate");
+    // the protocol version baked into the committed header must match
+    // the compiled one: bumping PROTOCOL_VERSION without regenerating
+    // the golden (or vice versa) fails here by construction
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        PROTOCOL_VERSION,
+        "committed frame header version differs from net::PROTOCOL_VERSION"
+    );
+    let frame = decode_frame(&bytes)
+        .expect("protocol break: the committed v1 golden frame no longer decodes");
+    // Frame carries no PartialEq (Msg is not comparable); byte equality
+    // after re-encode is the invariant the transport relies on anyway
+    assert_eq!(
+        encode_frame(&frame),
+        bytes,
+        "re-encoding the golden frame no longer reproduces the committed bytes"
+    );
+    assert_eq!(
+        expected, bytes,
+        "the codec now encodes the golden frame differently — bump PROTOCOL_VERSION"
+    );
+}

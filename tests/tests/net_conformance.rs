@@ -1,0 +1,223 @@
+//! Cross-transport conformance suite for the **multi-process TCP
+//! transport** (`uq_parallel::net`): running the exact same role
+//! protocols over loopback sockets must be bit-for-bit identical to the
+//! in-process backends — the transport is a delivery mechanism, never a
+//! statistical actor.
+//!
+//! The pinned regime is the deterministic one from
+//! `speculation_conformance.rs`: one chain per level, load balancing
+//! off, per-sample recording on, speculation on. There the thread
+//! scheduler, the cooperative runtime and a net run split across N
+//! processes all produce identical per-sample traces, so the digests
+//! over (means, variances, thetas, correction pairs) must agree exactly.
+//!
+//! Elastic membership is exercised on the same fixture with
+//! checkpointing on: one worker departs at the first barrier (its ranks
+//! and phonebook sessions migrate to the driver), a joiner is admitted
+//! at the second (ranks donated back out), a second joiner is never
+//! admitted and must be turned away cleanly — and the run still
+//! completes with the correct estimate.
+//!
+//! Fixture: the tight-ridge two-level Gaussian hierarchy (fine
+//! `N(0.35, 0.12²)`, coarse `N(0, 0.15²)`, `ρ = 2`).
+
+use std::sync::Arc;
+use uq_linalg::prob::isotropic_gaussian_logpdf;
+use uq_mcmc::proposal::GaussianRandomWalk;
+use uq_mcmc::{Proposal, SamplingProblem};
+use uq_mlmcmc::store::RunStore;
+use uq_mlmcmc::LevelFactory;
+use uq_parallel::{
+    levels_digest, run_net_worker, run_parallel, run_runtime, NetDriver, NetDriverOptions,
+    NetWorkerOptions, ParallelConfig, RuntimeConfig, Tracer,
+};
+
+const COARSE_MEAN: f64 = 0.0;
+const COARSE_SD: f64 = 0.15;
+const FINE_MEAN: f64 = 0.35;
+const FINE_SD: f64 = 0.12;
+const RHO: usize = 2;
+
+struct Ridge;
+
+struct Target {
+    mean: f64,
+    sd: f64,
+}
+
+impl SamplingProblem for Target {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn log_density(&mut self, theta: &[f64]) -> f64 {
+        isotropic_gaussian_logpdf(theta, &[self.mean], self.sd)
+    }
+}
+
+impl LevelFactory for Ridge {
+    fn n_levels(&self) -> usize {
+        2
+    }
+    fn problem(&self, level: usize) -> Box<dyn SamplingProblem> {
+        Box::new(Target {
+            mean: [COARSE_MEAN, FINE_MEAN][level],
+            sd: [COARSE_SD, FINE_SD][level],
+        })
+    }
+    fn proposal(&self, _level: usize) -> Box<dyn Proposal> {
+        Box::new(GaussianRandomWalk::new(0.2))
+    }
+    fn subsampling_rate(&self, _level: usize) -> usize {
+        RHO
+    }
+    fn starting_point(&self, _level: usize) -> Vec<f64> {
+        vec![0.0]
+    }
+}
+
+/// The deterministic bit-parity regime on the ridge.
+fn config(n0: usize, n1: usize, seed: u64) -> ParallelConfig {
+    let mut config = ParallelConfig::new(vec![n0, n1], vec![1, 1]);
+    config.burn_in = vec![30, 20];
+    config.seed = seed;
+    config.load_balancing = false;
+    config.record_samples = true;
+    config.speculation = true;
+    config
+}
+
+/// Run a net universe on loopback: one driver plus one thread per
+/// worker spec, all inside this process (the CI smoke jobs cover real
+/// separate OS processes via `scaling_live --net`).
+fn run_net(
+    config: &ParallelConfig,
+    opts: NetDriverOptions,
+    workers: Vec<NetWorkerOptions>,
+) -> (uq_parallel::NetReport, Vec<uq_parallel::NetWorkerReport>) {
+    let driver = NetDriver::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = driver.local_addr().to_string();
+    let worker_handles: Vec<_> = workers
+        .into_iter()
+        .map(|mut w| {
+            w.connect = addr.clone();
+            std::thread::spawn(move || run_net_worker(Arc::new(Ridge), &w, &Tracer::disabled()))
+        })
+        .collect();
+    let report = driver.run(Arc::new(Ridge), config, &opts, &Tracer::disabled());
+    let worker_reports = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    (report, worker_reports)
+}
+
+fn worker() -> NetWorkerOptions {
+    NetWorkerOptions {
+        connect: String::new(),
+        join: false,
+        leave_at_barrier: None,
+    }
+}
+
+#[test]
+fn net_two_workers_is_bit_identical_to_in_process() {
+    let config = config(300, 100, 2_2026);
+    let thread_digest = levels_digest(&run_parallel(&Ridge, &config, &Tracer::disabled()).levels);
+    let mut rt_config = RuntimeConfig::new(
+        config.samples_per_level.clone(),
+        config.chains_per_level.clone(),
+    );
+    rt_config.base = config.clone();
+    rt_config.n_workers = 1;
+    rt_config.collector_shards = 1;
+    let runtime_digest = levels_digest(
+        &run_runtime(&Ridge, &rt_config, &Tracer::disabled())
+            .report
+            .levels,
+    );
+    assert_eq!(
+        thread_digest, runtime_digest,
+        "in-process backends must agree before the net run means anything"
+    );
+
+    let opts = NetDriverOptions {
+        workers: 2,
+        every: 0,
+        store: None,
+        config_hash: 0,
+    };
+    let (net, worker_reports) = run_net(&config, opts, vec![worker(), worker()]);
+    assert_eq!(
+        levels_digest(&net.report.levels),
+        thread_digest,
+        "net run over loopback TCP diverged from the in-process backends"
+    );
+    assert_eq!(net.report.n_ranks, config.n_ranks());
+    assert_eq!(net.migrations, 0);
+    let mut hosted: Vec<usize> = worker_reports
+        .iter()
+        .flat_map(|r| r.ranks.clone())
+        .collect();
+    hosted.sort_unstable();
+    assert_eq!(hosted, vec![4, 5], "each worker hosts one controller rank");
+    assert!(worker_reports.iter().all(|r| !r.retired));
+}
+
+#[test]
+fn net_elastic_leave_and_join_completes_with_correct_estimate() {
+    let dir = std::env::temp_dir().join(format!("uq-net-elastic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(RunStore::open(&dir).expect("open store"));
+
+    let config = config(900, 150, 7_2026);
+    let opts = NetDriverOptions {
+        workers: 2,
+        every: 25,
+        store: Some(store),
+        config_hash: 0x9_e37,
+    };
+    // worker 0 departs at the first checkpoint barrier; its rank is
+    // re-hosted on the driver, which makes it donatable to the joiner
+    // at the second barrier. The late joiner never gets a donation
+    // (the driver hosts nothing after the first one) and must be
+    // turned away with a clean Bye at run end.
+    let mut leaver = worker();
+    leaver.leave_at_barrier = Some(1);
+    let mut joiner = worker();
+    joiner.join = true;
+    let mut late_joiner = worker();
+    late_joiner.join = true;
+    let (net, worker_reports) = run_net(&config, opts, vec![leaver, worker(), joiner, late_joiner]);
+
+    assert_eq!(
+        net.migrations, 2,
+        "one rank re-hosted at the departure, one donated to the joiner"
+    );
+    let est = net.report.expectation()[0];
+    assert!(
+        (est - FINE_MEAN).abs() < 0.1,
+        "estimate {est} drifted from the fine mean {FINE_MEAN} across migrations"
+    );
+    assert_eq!(net.report.levels[0].n_samples, 900);
+    assert_eq!(net.report.levels[1].n_samples, 150);
+
+    let leaver_report = &worker_reports[0];
+    assert!(leaver_report.retired, "departing worker must retire");
+    let joined: Vec<_> = worker_reports[2..]
+        .iter()
+        .filter(|r| !r.ranks.is_empty())
+        .collect();
+    assert_eq!(joined.len(), 1, "exactly one joiner must be admitted");
+    assert_eq!(
+        joined[0].ranks, leaver_report.ranks,
+        "the donated rank is the one the departing worker gave up"
+    );
+    assert!(
+        worker_reports[2..]
+            .iter()
+            .any(|r| r.ranks.is_empty() && !r.retired),
+        "the never-admitted joiner must be turned away cleanly"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
