@@ -585,6 +585,7 @@ fn checkpoint_study(args: &ExpArgs) {
         config_hash,
         every,
         on_snapshot: Some(&hook),
+        stop: None,
     };
 
     let report = if args.resume {
@@ -1311,10 +1312,11 @@ fn main() {
     }
     if let Some(name) = &args.metrics_out {
         let thread_snap = MetricsSnapshot::capture("validation thread-scheduler", &t_thread);
-        // v2 = v1 plus the net transport counters (appended to the
-        // counters table; every v1 field keeps its position — CI
-        // validates both the v2 additions and v1 stability)
-        let mut doc = String::from("{\n\"schema\": \"uq-obs-metrics-v2\",\n\"thread\": ");
+        // v3 = v2 plus the multi-tenant service counters (appended to
+        // the counters table) and the `per_tenant` serve table (empty
+        // outside a service run); every v1/v2 field keeps its position —
+        // CI validates both the v3 additions and v1/v2 stability
+        let mut doc = String::from("{\n\"schema\": \"uq-obs-metrics-v3\",\n\"thread\": ");
         doc.push_str(thread_snap.to_json().trim_end());
         doc.push_str(",\n\"runtime\": ");
         doc.push_str(snap.to_json().trim_end());

@@ -107,6 +107,17 @@ pub fn generation_seed(session_seed: u64, generation: u64) -> u64 {
     }
 }
 
+/// Seed namespace of a **tenant** sharing a long-lived service
+/// (`uq_parallel::service`): every job a tenant submits derives its
+/// effective base seed through this, so two tenants submitting the very
+/// same config can never collide on a [`session_seed`] (and hence never
+/// share a [`leg_seed`] substream). Deliberately *not* the identity for
+/// any tenant — a serviced job is always namespaced, and the standalone
+/// run it must be bit-identical to uses the same derived seed.
+pub fn tenant_seed(base: u64, tenant: u64) -> u64 {
+    mix(base.wrapping_add(mix(tenant ^ 0xB5AD_4ECE_DA1C_E2A9)))
+}
+
 /// Everything a (stateless) server needs to execute one serve of a
 /// session: the requester's current anchor, the session's pairing state
 /// and stream position. Sessions are plain data — the ledger can live at
@@ -746,6 +757,36 @@ mod tests {
 
     fn anchor(chain: &mut MlChain, theta: f64) -> CoarseSample {
         chain.anchor_at(&[theta])
+    }
+
+    #[test]
+    fn tenant_seed_namespaces_are_disjoint() {
+        // distinct tenants on the same base seed must land on distinct
+        // session streams for every (level, requester) pair — the
+        // cross-tenant isolation the service conformance suite relies on
+        let base = 0xDEAD_2026;
+        let seeds: Vec<u64> = (0..64).map(|t| tenant_seed(base, t)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "tenant seeds collided");
+        assert!(
+            seeds.iter().all(|&s| s != base),
+            "tenant namespacing must never be the identity"
+        );
+        for (a, &sa) in seeds.iter().enumerate() {
+            for &sb in &seeds[a + 1..] {
+                for level in 0..3 {
+                    for requester in 0..8 {
+                        assert_ne!(
+                            session_seed(sa, level, requester),
+                            session_seed(sb, level, requester),
+                            "session streams of two tenants collided"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!   over length-prefixed, checksummed frames, assembling one logical
 //!   universe from a driver plus N worker processes, with elastic
 //!   join/leave at checkpoint barriers via phonebook session migration.
+//! * [`service`] — the always-on multi-tenant UQ service: many
+//!   concurrent inversion jobs multiplexed over one shared worker pool
+//!   with fair-share + priority dispatch, DES admission control on
+//!   measured load, per-tenant seed/ledger isolation, and graceful
+//!   preemption through the quiesce-barrier snapshots (preempted jobs
+//!   resume bit-identically). Remote clients speak [`ServiceFrame`]s
+//!   in the `net` frame format.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -43,6 +50,7 @@ pub mod obs;
 pub mod roles;
 pub mod runtime;
 pub mod scheduler;
+pub mod service;
 
 pub use comm::{Envelope, RankCtx, Universe, UniverseStats};
 pub use net::{
@@ -60,4 +68,8 @@ pub use roles::{
 pub use runtime::{Poll, Runtime, RuntimeStats, StealProbe, VCtx, VirtualRank};
 pub use scheduler::{
     run_parallel, run_parallel_ckpt, ParallelCheckpoint, ParallelConfig, ParallelReport,
+};
+pub use service::{
+    decode_service_frame, encode_service_frame, JobId, JobSpec, JobState, JobStatus, Service,
+    ServiceClient, ServiceConfig, ServiceFrame, SERVICE_PROTOCOL_VERSION,
 };

@@ -1197,6 +1197,7 @@ impl NetDriver {
                 config_hash: opts.config_hash,
                 every: opts.every,
                 on_snapshot: None,
+                stop: None,
             });
             let plan = {
                 let dc = Arc::clone(&dc);

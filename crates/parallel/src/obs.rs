@@ -208,10 +208,21 @@ pub enum Counter {
     NetReconnects,
     /// Ranks migrated across processes at checkpoint barriers.
     NetMigrations,
+    // --- multi-tenant service counters (schema v3; appended so every
+    // v1/v2 counter keeps its position and their JSON fields stay
+    // byte-stable) ---
+    /// Service jobs admitted (`crate::service`).
+    JobsAdmitted,
+    /// Service jobs turned away at admission (tenant budget exhausted or
+    /// DES-predicted time-to-estimate beyond the deadline).
+    JobsRejected,
+    /// Service jobs preempted at a quiesce barrier (each resume that is
+    /// preempted again counts once more).
+    JobsPreempted,
 }
 
 /// All counters, in `repr` order (the atomic array layout).
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 17] = [
     Counter::Serves,
     Counter::WriteBacks,
     Counter::BarrierAcks,
@@ -226,6 +237,9 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::NetBytesIn,
     Counter::NetReconnects,
     Counter::NetMigrations,
+    Counter::JobsAdmitted,
+    Counter::JobsRejected,
+    Counter::JobsPreempted,
 ];
 
 impl Counter {
@@ -246,6 +260,9 @@ impl Counter {
             Counter::NetBytesIn => "net_bytes_in",
             Counter::NetReconnects => "net_reconnects",
             Counter::NetMigrations => "net_migrations",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsRejected => "jobs_rejected",
+            Counter::JobsPreempted => "jobs_preempted",
         }
     }
 }
@@ -784,6 +801,9 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistSnapshot>,
     pub per_rank: Vec<RankActivity>,
     pub per_level: Vec<LevelActivity>,
+    /// Per-tenant serve counts `(tenant, serves)` merged from the
+    /// multi-tenant service (schema v3; empty outside a service run).
+    pub per_tenant: Vec<(u64, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -842,6 +862,7 @@ impl MetricsSnapshot {
             histograms: HISTS.iter().map(|&h| tracer.hist(h)).collect(),
             per_rank,
             per_level,
+            per_tenant: Vec::new(),
         }
     }
 
@@ -877,6 +898,20 @@ impl MetricsSnapshot {
     pub fn merge_runtime(&mut self, stats: &RuntimeStats) -> &mut Self {
         *self.counter_mut(Counter::Steals) += stats.steals as u64;
         *self.counter_mut(Counter::DroppedSends) += stats.dropped_sends as u64;
+        self
+    }
+
+    /// Merge the service's per-tenant serve accounting (schema v3):
+    /// `(tenant, serves)` rows, accumulated into any rows already
+    /// present and kept sorted by tenant id.
+    pub fn merge_service(&mut self, per_tenant: &[(u64, u64)]) -> &mut Self {
+        for &(tenant, serves) in per_tenant {
+            match self.per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
+                Some(row) => row.1 += serves,
+                None => self.per_tenant.push((tenant, serves)),
+            }
+        }
+        self.per_tenant.sort_by_key(|&(t, _)| t);
         self
     }
 
@@ -956,6 +991,21 @@ impl MetricsSnapshot {
                 "    {{ \"level\": {}, \"eval_s\": {:.6}, \"burnin_s\": {:.6}, \
                  \"serve_s\": {:.6}, \"eval_spans\": {} }}{comma}",
                 l.level, l.eval, l.burnin, l.serve, l.eval_spans
+            )
+            .unwrap();
+        }
+        // schema v3 addition, emitted after every v1/v2 field so their
+        // positions stay byte-stable
+        out.push_str("  ],\n  \"per_tenant\": [\n");
+        for (i, (tenant, serves)) in self.per_tenant.iter().enumerate() {
+            let comma = if i + 1 == self.per_tenant.len() {
+                ""
+            } else {
+                ","
+            };
+            writeln!(
+                out,
+                "    {{ \"tenant\": {tenant}, \"serves\": {serves} }}{comma}"
             )
             .unwrap();
         }

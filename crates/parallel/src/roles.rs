@@ -150,11 +150,15 @@ pub struct RuntimeReport {
     /// Runtime counters (polls, wakeups, dropped shutdown sends).
     pub runtime: RuntimeStats,
     pub n_workers: usize,
+    /// The run was stopped by [`ParallelCheckpoint::stop`] at a quiesce
+    /// barrier: `report` carries the partial moments up to the cut and
+    /// the just-persisted snapshot is the resume point.
+    pub preempted: bool,
 }
 
 /// Per-rank outputs collected by the runtime.
 enum RoleOut {
-    Root(Box<(ParallelReport, PhonebookStats)>),
+    Root(Box<(ParallelReport, PhonebookStats, bool)>),
     Quiet,
 }
 
@@ -193,6 +197,8 @@ struct RootRank<'a> {
     ckpt_start: f64,
     chain_ckpts: Vec<ChainCkpt>,
     coll_ckpts: Vec<CollectorCkpt>,
+    /// Set when [`ParallelCheckpoint::stop`] fired at a barrier.
+    preempted: bool,
     tracer: Tracer,
 }
 
@@ -223,6 +229,7 @@ impl<'a> RootRank<'a> {
             ckpt_start: 0.0,
             chain_ckpts: Vec::new(),
             coll_ckpts: Vec::new(),
+            preempted: false,
         }
     }
 
@@ -267,8 +274,24 @@ impl<'a> RootRank<'a> {
         if let Some(hook) = spec.on_snapshot {
             hook(samples_done, &hash);
         }
-        for rank in self.config.first_controller_rank()..self.config.n_ranks() {
-            ctx.send(rank, Msg::CheckpointDone);
+        if spec
+            .stop
+            .is_some_and(|s| s.load(std::sync::atomic::Ordering::SeqCst))
+        {
+            // Graceful preemption: the snapshot just persisted is the
+            // resume point. Every controller is paused at a clean
+            // boundary (they accept `Shutdown` while paused) and the
+            // ledger is drained, so declaring all levels done drives the
+            // normal phonebook → collectors → controllers teardown with
+            // nothing in flight.
+            self.preempted = true;
+            for done in self.level_done.iter_mut() {
+                *done = true;
+            }
+        } else {
+            for rank in self.config.first_controller_rank()..self.config.n_ranks() {
+                ctx.send(rank, Msg::CheckpointDone);
+            }
         }
         self.tracer.record(
             ROOT,
@@ -486,7 +509,8 @@ impl VirtualRank<Msg> for RootRank<'_> {
                     {
                         let report = self.assemble();
                         let stats = self.phonebook_stats;
-                        return Poll::Exit(RoleOut::Root(Box::new((report, stats))));
+                        let preempted = self.preempted;
+                        return Poll::Exit(RoleOut::Root(Box::new((report, stats, preempted))));
                     }
                     return Poll::Wait(Box::new(|_| true));
                 }
@@ -1677,12 +1701,13 @@ pub fn run_runtime_ckpt_on(
             report = Some(*boxed);
         }
     }
-    let (report, phonebook) = report.expect("root must produce a report");
+    let (report, phonebook, preempted) = report.expect("root must produce a report");
     RuntimeReport {
         report,
         phonebook,
         runtime: run.stats,
         n_workers: runtime.n_workers(),
+        preempted,
     }
 }
 
@@ -1897,6 +1922,7 @@ mod tests {
             config_hash: 7,
             every: 9,
             on_snapshot: Some(&hook),
+            stop: None,
         };
         let checkpointed = run_runtime_ckpt(&h, &config, &Tracer::disabled(), Some(&spec), None);
         // checkpointing itself must not perturb the run

@@ -168,6 +168,17 @@ pub struct ParallelCheckpoint<'a> {
     /// Called after each persisted snapshot with `(samples_done, hash)`
     /// — the crash-injection harness aborts the process from here.
     pub on_snapshot: Option<&'a ParallelSnapshotHook<'a>>,
+    /// Cooperative-preemption flag (runtime backend only). When set at
+    /// the completion of a quiesce barrier, the run keeps the
+    /// just-persisted snapshot as its resume point and drives the normal
+    /// graceful shutdown instead of resuming the controllers — the
+    /// barrier is fully quiescent (every chain paused at a clean
+    /// boundary, ledger drained, nothing in flight), so stopping there
+    /// strands no `ServeJob` and the snapshot resumes bit-identically.
+    /// Reported via [`crate::RuntimeReport::preempted`]; the thread
+    /// scheduler ignores the flag (the always-on service runs on the
+    /// runtime backend).
+    pub stop: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 /// Transport hooks for elastic membership (used by `crate::net`): at
@@ -1565,6 +1576,7 @@ mod tests {
             config_hash: 99,
             every: 7,
             on_snapshot: Some(&hook),
+            stop: None,
         };
         let checkpointed = run_parallel_ckpt(&h, &config, &Tracer::disabled(), Some(&spec), None);
         // checkpointing itself must not perturb the run

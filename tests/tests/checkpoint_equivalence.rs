@@ -425,6 +425,7 @@ fn thread_crash_resume_is_bit_identical() {
                 config_hash: thread_hash(),
                 every: THREAD_EVERY,
                 on_snapshot: Some(&hook),
+                stop: None,
             };
             run_parallel_ckpt(
                 &Ridge,
@@ -512,6 +513,7 @@ fn runtime_crash_mid_speculation_resume_is_bit_identical() {
                 config_hash: runtime_hash(),
                 every: RUNTIME_EVERY,
                 on_snapshot: Some(&hook),
+                stop: None,
             };
             run_runtime_ckpt(
                 &Ridge,
@@ -591,6 +593,7 @@ fn runtime_checkpoint_on_off_is_bit_identical_on_the_ridge() {
         config_hash: fnv1a(b"quiesce on/off ridge"),
         every: 40,
         on_snapshot: Some(&hook),
+        stop: None,
     };
     let with = run_runtime_ckpt(
         &Ridge,
@@ -641,6 +644,7 @@ fn checkpoint_barrier_preserves_the_ridge_statistics() {
         config_hash: fnv1a(b"quiesce statistics ridge"),
         every: 1_000,
         on_snapshot: Some(&hook),
+        stop: None,
     };
     let rt = run_runtime_ckpt(&Ridge, &config, &Tracer::disabled(), Some(&ckpt), None);
     assert!(snaps.load(Ordering::SeqCst) > 0, "barriers must fire");
@@ -654,5 +658,131 @@ fn checkpoint_barrier_preserves_the_ridge_statistics() {
         (corr - (FINE_MEAN - COARSE_MEAN)).abs() < 0.03,
         "checkpoint barriers must be statistically inert on the ridge: corr = {corr}"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// checkpoint under multi-tenancy (PR 10): the quiesce barrier with two
+// active tenants persists a resume point for each, and each resumes
+// independently, bit-identically
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_tenant_service_snapshots_both_and_resumes_each_independently() {
+    use std::time::{Duration, Instant};
+    use uq_mlmcmc::ledger::tenant_seed;
+    use uq_parallel::{levels_digest, Counter, JobSpec, JobState, Service, ServiceConfig};
+
+    let mk = |n0: usize, n1: usize| {
+        let mut config = RuntimeConfig::new(vec![n0, n1], vec![1, 1]);
+        config.base.burn_in = vec![30, 20];
+        config.base.seed = RUNTIME_SEED;
+        config.base.load_balancing = false;
+        config.base.record_samples = true;
+        config.base.speculation = true;
+        config.n_workers = 1;
+        config.collector_shards = 1;
+        config
+    };
+    // different shapes so the two tenants' barriers interleave freely
+    let cfg_a = mk(1_500, 500);
+    let cfg_b = mk(2_000, 700);
+    let reference = |cfg: &RuntimeConfig, tenant: u64| {
+        let mut at_seed = cfg.clone();
+        at_seed.base.seed = tenant_seed(cfg.base.seed, tenant);
+        levels_digest(
+            &run_runtime(&Ridge, &at_seed, &Tracer::disabled())
+                .report
+                .levels,
+        )
+    };
+    let ref_a = reference(&cfg_a, 1);
+    let ref_b = reference(&cfg_b, 2);
+    assert_ne!(ref_a, ref_b, "tenants must live in disjoint namespaces");
+
+    let dir = fresh_dir("two-tenant-svc");
+    let tracer = Tracer::new();
+    let mut svc = ServiceConfig::new(dir.join("stores"));
+    svc.lanes = 2;
+    svc.pool_workers = 2;
+    svc.quantum = 5; // frequent barriers: the preempt lands early
+    let service = Service::start(svc, &tracer);
+    service.register_model("ridge", std::sync::Arc::new(Ridge));
+
+    let job = |tenant: u64, cfg: &RuntimeConfig| JobSpec {
+        tenant,
+        priority: 1.0,
+        model: "ridge".to_string(),
+        config: cfg.clone(),
+        deadline: 0.0,
+    };
+    let (a, _) = service.submit(job(1, &cfg_a)).expect("admit tenant 1");
+    let (b, _) = service.submit(job(2, &cfg_b)).expect("admit tenant 2");
+
+    // both tenants are live on the pool; wait until each has persisted
+    // at least one barrier cut, then preempt both
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let sa = service.status(a).expect("job a exists");
+        let sb = service.status(b).expect("job b exists");
+        if sa.snapshots >= 1 && sb.snapshots >= 1 {
+            break;
+        }
+        for s in [&sa, &sb] {
+            assert!(
+                matches!(s.state, JobState::Queued | JobState::Running),
+                "tenant {} reached {:?} before the shared cut",
+                s.tenant,
+                s.state
+            );
+        }
+        assert!(Instant::now() < deadline, "barrier cuts never materialized");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(service.preempt(a), "tenant 1 must be running to preempt");
+    assert!(service.preempt(b), "tenant 2 must be running to preempt");
+
+    let parked_a = service.wait(a);
+    let parked_b = service.wait(b);
+    for parked in [&parked_a, &parked_b] {
+        assert_eq!(
+            parked.state,
+            JobState::Preempted,
+            "tenant {} did not park at its barrier",
+            parked.tenant
+        );
+        assert!(
+            parked.snapshots >= 1,
+            "tenant {} preempted without a resume point",
+            parked.tenant
+        );
+    }
+    assert_eq!(tracer.counter(Counter::JobsPreempted), 2);
+
+    // resume tenant 1 alone: it must complete bit-identically while
+    // tenant 2 stays parked, untouched
+    assert!(service.resume(a));
+    let done_a = service.wait(a);
+    assert_eq!(done_a.state, JobState::Completed);
+    assert_eq!(
+        done_a.digest, ref_a,
+        "tenant 1 resume through the shared-cut snapshot changed the bits"
+    );
+    assert_eq!(
+        service.status(b).expect("job b exists").state,
+        JobState::Preempted,
+        "resuming tenant 1 must not disturb tenant 2's parked state"
+    );
+
+    // now tenant 2, independently
+    assert!(service.resume(b));
+    let done_b = service.wait(b);
+    assert_eq!(done_b.state, JobState::Completed);
+    assert_eq!(
+        done_b.digest, ref_b,
+        "tenant 2 resume through the shared-cut snapshot changed the bits"
+    );
+
+    service.shutdown();
     let _ = fs::remove_dir_all(&dir);
 }

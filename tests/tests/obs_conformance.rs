@@ -202,6 +202,7 @@ fn runtime_tracing_on_off_is_bit_identical_across_mid_run_checkpoints() {
             config_hash: hash,
             every: 100,
             on_snapshot: Some(&hook),
+            stop: None,
         };
         run_runtime_ckpt(
             &Ridge,
